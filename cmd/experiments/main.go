@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's evaluation figures (§5) on
+// this reproduction and prints them as text tables.
+//
+// Usage:
+//
+//	experiments -fig 5                  # one figure: 4, 5, 6, 7, 8, quality
+//	experiments -fig all -scale 0.2     # everything, at 20% of paper scale
+//	experiments -fig 7 -csv out/        # also write CSV files
+//
+// Scale 1 approximates the paper's workload sizes (§5.2: 10000
+// preferences, 5000 packages, 1000 samples, 100k-tuple datasets) and can
+// take a long time; the default 0.2 preserves every comparison's shape in
+// a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"toppkg/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: "+strings.Join(experiments.Names(), ", ")+", or all")
+	scale := flag.Float64("scale", 0.2, "workload scale relative to the paper (1 = paper scale)")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "directory to also write tables as CSV (created if missing)")
+	verbose := flag.Bool("v", false, "progress output on stderr")
+	flag.Parse()
+
+	p := experiments.Params{Scale: *scale, Seed: *seed, Verbose: *verbose}
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tables, err := experiments.Run(name, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			tables[i].Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, name, i, &tables[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(experiment %s: %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func writeCSV(dir, name string, i int, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fig%s_%d.csv", name, i))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.CSV(f)
+	return nil
+}

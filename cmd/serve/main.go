@@ -1,0 +1,86 @@
+// Command serve runs the package recommender as an HTTP/JSON service for a
+// single user session — the integration style the paper describes (§1):
+// recommendations are fetched at login, clicks are posted back as implicit
+// feedback, and the learned session state can be snapshotted and restored.
+//
+// Usage:
+//
+//	serve -addr :8080 -dataset nba -features 5
+//	curl localhost:8080/recommend
+//	curl -X POST localhost:8080/click -d '{"chosen":[1,2],"shown":[[1,2],[3]]}'
+//	curl localhost:8080/snapshot > session.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"toppkg/internal/core"
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/ranking"
+	"toppkg/internal/search"
+	"toppkg/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		kind     = flag.String("dataset", "nba", "dataset: uni, pwr, cor, ant, nba")
+		items    = flag.Int("items", 2000, "item count (synthetic datasets)")
+		features = flag.Int("features", 5, "feature count")
+		phi      = flag.Int("phi", 5, "maximum package size")
+		k        = flag.Int("k", 5, "recommended packages per slate")
+		samples  = flag.Int("samples", 500, "weight-vector samples")
+		sem      = flag.String("semantics", "exp", "ranking semantics: exp, tkp, mpo")
+		snapshot = flag.String("restore", "", "path of a session snapshot to restore")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	data, err := dataset.Generate(*kind, *items, *features, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	semantics, err := ranking.ParseSemantics(*sem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycle := []feature.Agg{feature.AggSum, feature.AggAvg, feature.AggMax, feature.AggMin}
+	aggs := make([]feature.Agg, *features)
+	for i := range aggs {
+		aggs[i] = cycle[i%len(cycle)]
+	}
+	eng, err := core.New(core.Config{
+		Items:          data,
+		Profile:        feature.SimpleProfile(aggs...),
+		MaxPackageSize: *phi,
+		K:              *k,
+		Semantics:      semantics,
+		SampleCount:    *samples,
+		Seed:           *seed,
+		Parallelism:    -1,
+		Search:         search.Options{MaxQueue: 128, MaxAccessed: 500},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *snapshot != "" {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Load(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("restored session from %s", *snapshot)
+	}
+	fmt.Printf("serving %s (%d items, %d features) on %s\n", *kind, len(data), *features, *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+}

@@ -1,0 +1,439 @@
+// Package core implements the package recommender system of the paper: a
+// linear utility over aggregate package features whose weights are
+// uncertain (a Gaussian-mixture prior), learned through implicit feedback
+// (clicks on recommended packages), with constrained sampling standing in
+// for the closed-form posterior and Top-k-Pkg generating recommendations
+// under a configurable ranking semantics.
+//
+// Typical use:
+//
+//	eng, err := core.New(core.Config{Items: items, Profile: profile})
+//	slate, err := eng.Recommend()            // top packages + exploration
+//	err = eng.Click(slate.All[2], slate.All) // user clicked the third
+//	slate, err = eng.Recommend()             // now personalized
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"toppkg/internal/feature"
+	"toppkg/internal/gaussmix"
+	"toppkg/internal/maintain"
+	"toppkg/internal/pkgspace"
+	"toppkg/internal/prefgraph"
+	"toppkg/internal/ranking"
+	"toppkg/internal/sampling"
+	"toppkg/internal/search"
+	"toppkg/internal/topk"
+)
+
+// SamplerKind selects the constrained sampling strategy (§3).
+type SamplerKind string
+
+// Sampling strategies.
+const (
+	SamplerRejection  SamplerKind = "rejection"
+	SamplerImportance SamplerKind = "importance"
+	SamplerMCMC       SamplerKind = "mcmc"
+)
+
+// CheckerKind selects the sample-maintenance strategy (§3.4).
+type CheckerKind string
+
+// Maintenance strategies.
+const (
+	CheckerNaive  CheckerKind = "naive"
+	CheckerTA     CheckerKind = "ta"
+	CheckerHybrid CheckerKind = "hybrid"
+)
+
+// Config configures an Engine. Zero values select the paper's defaults.
+type Config struct {
+	// Items is the item set T (required).
+	Items []feature.Item
+	// Profile is the aggregate feature profile V (required).
+	Profile *feature.Profile
+	// MaxPackageSize is φ (default 5).
+	MaxPackageSize int
+	// K is the number of recommended packages per slate (default 5).
+	K int
+	// RandomCount is the number of exploration packages added to each slate
+	// (default K; the paper shows 5 recommended + 5 random).
+	RandomCount int
+	// Semantics is the ranking semantics (default EXP).
+	Semantics ranking.Semantics
+	// Sigma is TKP's σ (default K).
+	Sigma int
+	// Sampler selects the sampling strategy (default mcmc).
+	Sampler SamplerKind
+	// SampleCount is the size of the weight-vector sample pool
+	// (default 1000).
+	SampleCount int
+	// Prior overrides the weight prior; by default a single Gaussian
+	// centered at the origin with std 0.5 per dimension
+	// (PriorComponents selects a random mixture instead).
+	Prior *gaussmix.Mixture
+	// PriorComponents sets the number of mixture components of the default
+	// prior (default 1).
+	PriorComponents int
+	// Psi is the feedback noise model of §7: the probability any single
+	// feedback is correct. Default 1 (noise-free).
+	Psi float64
+	// Checker selects the maintenance strategy (default hybrid).
+	Checker CheckerKind
+	// Gamma is the hybrid checker's γ (default 0.025).
+	Gamma float64
+	// DisableReduction turns off transitive reduction of the preference
+	// graph (§3.3); on by default since it only removes redundant checks.
+	DisableReduction bool
+	// Search tunes the per-sample Top-k-Pkg runs (K is set internally).
+	Search search.Options
+	// Parallelism is the worker count for per-sample searches during
+	// ranking (0/1 sequential, negative = GOMAXPROCS).
+	Parallelism int
+	// Seed seeds the engine's random stream (default 1).
+	Seed int64
+	// MCMC / importance tuning; zero values take the samplers' defaults.
+	MCMCLMax           float64
+	MCMCThin           int
+	MCMCBurnIn         int
+	ImportanceGridRes  int
+	ImportanceStd      float64
+	ImportanceQuadtree bool
+}
+
+// Stats reports the engine's cumulative activity.
+type Stats struct {
+	// Feedback is the number of pairwise preferences recorded.
+	Feedback int
+	// ConstraintsActive is the size of the reduced constraint set in use.
+	ConstraintsActive int
+	// CyclesSkipped counts preferences dropped because they contradicted
+	// earlier feedback.
+	CyclesSkipped int
+	// SamplesReplaced counts pool samples invalidated by feedback and
+	// redrawn (§3.4).
+	SamplesReplaced int
+	// ReplacementFailures counts feedback events whose violating samples
+	// could not be replaced because the valid region has (nearly) vanished
+	// — e.g. inconsistent feedback from a noisy user on a noise-free
+	// engine. The stale samples are kept; configure Psi < 1 to tolerate
+	// noise instead (§7).
+	ReplacementFailures int
+	// MaintenanceWork accumulates the checker's sample examinations.
+	MaintenanceWork int
+	// SampleAttempts accumulates raw sampler draws.
+	SampleAttempts int
+}
+
+// Slate is one screenful of packages presented to the user: the system's
+// current best guesses (exploitation) plus random packages (exploration),
+// per §2.2.
+type Slate struct {
+	// Recommended is the ranked top-k under the configured semantics.
+	Recommended []ranking.Ranked
+	// Random is the exploration tail.
+	Random []pkgspace.Package
+	// All is every distinct package shown, recommended first.
+	All []pkgspace.Package
+}
+
+// Engine is the package recommender. It is not safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	space *feature.Space
+	ix    *search.Index
+	rng   *rand.Rand
+	graph *prefgraph.Graph
+	pool  *maintain.Pool
+	stats Stats
+}
+
+// New validates the configuration and builds an engine. Sampling is lazy:
+// the pool is drawn on the first Recommend.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("core: Config.Profile is required")
+	}
+	if cfg.MaxPackageSize == 0 {
+		cfg.MaxPackageSize = 5
+	}
+	if cfg.K == 0 {
+		cfg.K = 5
+	}
+	if cfg.RandomCount == 0 {
+		cfg.RandomCount = cfg.K
+	}
+	if cfg.Sigma == 0 {
+		cfg.Sigma = cfg.K
+	}
+	if cfg.Sampler == "" {
+		cfg.Sampler = SamplerMCMC
+	}
+	if cfg.SampleCount == 0 {
+		cfg.SampleCount = 1000
+	}
+	if cfg.PriorComponents == 0 {
+		cfg.PriorComponents = 1
+	}
+	if cfg.Psi == 0 {
+		cfg.Psi = 1
+	}
+	if cfg.Checker == "" {
+		cfg.Checker = CheckerHybrid
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	space, err := feature.NewSpace(cfg.Items, cfg.Profile, cfg.MaxPackageSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Prior == nil {
+		cfg.Prior = gaussmix.DefaultPrior(cfg.Profile.Dims(), cfg.PriorComponents, rng)
+	}
+	if cfg.Prior.Dims() != cfg.Profile.Dims() {
+		return nil, fmt.Errorf("core: prior has %d dims, profile has %d", cfg.Prior.Dims(), cfg.Profile.Dims())
+	}
+	return &Engine{
+		cfg:   cfg,
+		space: space,
+		ix:    search.NewIndex(space),
+		rng:   rng,
+		graph: prefgraph.New(),
+	}, nil
+}
+
+// Space exposes the feature space (items, profile, normalizer).
+func (e *Engine) Space() *feature.Space { return e.space }
+
+// Index exposes the search index for direct Top-k-Pkg runs.
+func (e *Engine) Index() *search.Index { return e.ix }
+
+// Stats returns the cumulative counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.ConstraintsActive = len(e.constraints())
+	return s
+}
+
+// Graph exposes the preference DAG (read-mostly; use Feedback to mutate).
+func (e *Engine) Graph() *prefgraph.Graph { return e.graph }
+
+// PackageVector computes the normalized aggregate vector of a package.
+func (e *Engine) PackageVector(p pkgspace.Package) ([]float64, error) {
+	if err := pkgspace.ValidateIDs(e.space, p); err != nil {
+		return nil, err
+	}
+	return pkgspace.Vector(e.space, p), nil
+}
+
+func (e *Engine) constraints() []prefgraph.Constraint {
+	return e.graph.Constraints(!e.cfg.DisableReduction)
+}
+
+// Sampler builds the configured sampling strategy over the current
+// feedback constraints.
+func (e *Engine) Sampler() (sampling.Sampler, error) {
+	v := sampling.NewValidator(e.space.Dims(), e.constraints())
+	v.Psi = e.cfg.Psi
+	switch e.cfg.Sampler {
+	case SamplerRejection:
+		return &sampling.Rejection{Prior: e.cfg.Prior, V: v}, nil
+	case SamplerImportance:
+		return &sampling.Importance{
+			Prior:       e.cfg.Prior,
+			V:           v,
+			GridRes:     e.cfg.ImportanceGridRes,
+			ProposalStd: e.cfg.ImportanceStd,
+			UseQuadtree: e.cfg.ImportanceQuadtree,
+		}, nil
+	case SamplerMCMC:
+		return &sampling.MCMC{
+			Prior:  e.cfg.Prior,
+			V:      v,
+			LMax:   e.cfg.MCMCLMax,
+			Thin:   e.cfg.MCMCThin,
+			BurnIn: e.cfg.MCMCBurnIn,
+		}, nil
+	}
+	return nil, fmt.Errorf("core: unknown sampler %q", e.cfg.Sampler)
+}
+
+func (e *Engine) newChecker(p *topk.Pool) maintain.Checker {
+	switch e.cfg.Checker {
+	case CheckerNaive:
+		return &maintain.Naive{P: p}
+	case CheckerTA:
+		return &maintain.TA{P: p}
+	default:
+		return &maintain.Hybrid{P: p, Gamma: e.cfg.Gamma}
+	}
+}
+
+// ensureSamples draws the initial pool if none exists yet.
+func (e *Engine) ensureSamples() error {
+	if e.pool != nil {
+		return nil
+	}
+	s, err := e.Sampler()
+	if err != nil {
+		return err
+	}
+	res, err := s.Sample(e.rng, e.cfg.SampleCount)
+	if err != nil {
+		return fmt.Errorf("core: initial sampling: %w", err)
+	}
+	e.stats.SampleAttempts += res.Attempts
+	e.pool = maintain.NewPool(res.Samples)
+	e.pool.NewChecker = e.newChecker
+	return nil
+}
+
+// Samples returns the current weight-vector pool, drawing it if needed.
+func (e *Engine) Samples() ([]sampling.Sample, error) {
+	if err := e.ensureSamples(); err != nil {
+		return nil, err
+	}
+	return e.pool.Samples, nil
+}
+
+// InvalidateSamples discards the pool so the next Recommend redraws it from
+// scratch (mainly for experiments comparing maintenance to regeneration).
+func (e *Engine) InvalidateSamples() { e.pool = nil }
+
+// Recommend assembles a slate: the top-K packages under the configured
+// semantics plus RandomCount random exploration packages.
+func (e *Engine) Recommend() (*Slate, error) {
+	if err := e.ensureSamples(); err != nil {
+		return nil, err
+	}
+	ranked, err := ranking.Rank(e.ix, e.pool.Samples, e.cfg.Semantics, ranking.Options{
+		K:           e.cfg.K,
+		Sigma:       e.cfg.Sigma,
+		Parallelism: e.cfg.Parallelism,
+		Search:      e.cfg.Search,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: ranking: %w", err)
+	}
+	slate := &Slate{Recommended: ranked}
+	seen := make(map[string]bool, len(ranked)+e.cfg.RandomCount)
+	for _, r := range ranked {
+		slate.All = append(slate.All, r.Pkg)
+		seen[r.Pkg.Signature()] = true
+	}
+	for tries := 0; len(slate.Random) < e.cfg.RandomCount && tries < 50*e.cfg.RandomCount; tries++ {
+		p := e.RandomPackage()
+		if sig := p.Signature(); !seen[sig] {
+			seen[sig] = true
+			slate.Random = append(slate.Random, p)
+			slate.All = append(slate.All, p)
+		}
+	}
+	return slate, nil
+}
+
+// RandomPackage draws a uniformly random size in [1, φ] and that many
+// distinct random items — the exploration packages of §2.2.
+func (e *Engine) RandomPackage() pkgspace.Package {
+	size := 1 + e.rng.Intn(e.cfg.MaxPackageSize)
+	if size > len(e.cfg.Items) {
+		size = len(e.cfg.Items)
+	}
+	picked := make(map[int]bool, size)
+	ids := make([]int, 0, size)
+	for len(ids) < size {
+		id := e.rng.Intn(len(e.cfg.Items))
+		if !picked[id] {
+			picked[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return pkgspace.New(ids...)
+}
+
+// Click records implicit feedback: the user clicked chosen out of shown,
+// yielding a pairwise preference over every other shown package (§3.3).
+// Preferences contradicting earlier feedback are skipped and counted in
+// Stats.CyclesSkipped, mirroring the paper's cycle resolution.
+func (e *Engine) Click(chosen pkgspace.Package, shown []pkgspace.Package) error {
+	for _, p := range shown {
+		if p.Signature() == chosen.Signature() {
+			continue
+		}
+		if err := e.Feedback(chosen, p); err != nil {
+			if errors.Is(err, prefgraph.ErrCycle) {
+				e.stats.CyclesSkipped++
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Feedback records a single pairwise preference winner ≻ loser, updates the
+// preference DAG, and maintains the sample pool: samples violating the new
+// constraint are replaced by fresh draws from the feedback-aware sampler
+// (§3.4).
+func (e *Engine) Feedback(winner, loser pkgspace.Package) error {
+	wv, err := e.PackageVector(winner)
+	if err != nil {
+		return err
+	}
+	lv, err := e.PackageVector(loser)
+	if err != nil {
+		return err
+	}
+	if err := e.graph.AddPreference(winner, wv, loser, lv); err != nil {
+		return err
+	}
+	e.stats.Feedback++
+	if e.pool == nil {
+		return nil // pool will be drawn under the full constraint set
+	}
+	diff := make([]float64, len(wv))
+	for i := range diff {
+		diff[i] = wv[i] - lv[i]
+	}
+	c := prefgraph.Constraint{Winner: winner, Loser: loser, Diff: diff}
+	s, err := e.Sampler()
+	if err != nil {
+		return err
+	}
+	replaced, work, err := e.pool.Apply(c, s, e.rng)
+	e.stats.MaintenanceWork += work
+	e.stats.SamplesReplaced += replaced
+	if err != nil {
+		if errors.Is(err, sampling.ErrTooManyRejections) {
+			// The feedback set leaves (almost) no valid weight vectors: keep
+			// the stale samples rather than fail the interaction. The paper
+			// assumes consistent feedback (§2.1); Psi < 1 is the principled
+			// alternative under noise (§7).
+			e.stats.ReplacementFailures++
+			return nil
+		}
+		return fmt.Errorf("core: feedback maintenance: %w", err)
+	}
+	return nil
+}
+
+// TopKForWeights runs Top-k-Pkg for an explicit weight vector — the
+// "oracle" entry point when the utility is known rather than elicited.
+func (e *Engine) TopKForWeights(w []float64, k int) ([]pkgspace.Scored, error) {
+	u, err := feature.NewUtility(e.space.Profile, w)
+	if err != nil {
+		return nil, err
+	}
+	so := e.cfg.Search
+	so.K = k
+	res, err := e.ix.TopK(u, so)
+	if err != nil {
+		return nil, err
+	}
+	return res.Packages, nil
+}

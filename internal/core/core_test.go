@@ -1,0 +1,371 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/pkgspace"
+	"toppkg/internal/ranking"
+	"toppkg/internal/search"
+)
+
+func testConfig(t *testing.T, n int) Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(100))
+	return Config{
+		Items:          dataset.UNI(n, 3, rng),
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg, feature.AggMax),
+		MaxPackageSize: 3,
+		K:              3,
+		SampleCount:    200,
+		Seed:           7,
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	e, err := New(testConfig(t, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.K != 3 || e.cfg.RandomCount != 3 || e.cfg.Sigma != 3 {
+		t.Errorf("defaults: K=%d RandomCount=%d Sigma=%d", e.cfg.K, e.cfg.RandomCount, e.cfg.Sigma)
+	}
+	if e.cfg.Sampler != SamplerMCMC || e.cfg.Checker != CheckerHybrid {
+		t.Errorf("defaults: sampler=%s checker=%s", e.cfg.Sampler, e.cfg.Checker)
+	}
+	if e.cfg.Psi != 1 {
+		t.Errorf("default Psi = %g", e.cfg.Psi)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing profile accepted")
+	}
+	cfg := testConfig(t, 10)
+	cfg.Items = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("missing items accepted")
+	}
+}
+
+func TestRecommendShape(t *testing.T) {
+	e, err := New(testConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := e.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slate.Recommended) != 3 {
+		t.Errorf("recommended %d, want 3", len(slate.Recommended))
+	}
+	if len(slate.Random) != 3 {
+		t.Errorf("random %d, want 3", len(slate.Random))
+	}
+	if len(slate.All) != len(slate.Recommended)+len(slate.Random) {
+		t.Errorf("All has %d entries", len(slate.All))
+	}
+	// No duplicates in the slate.
+	seen := map[string]bool{}
+	for _, p := range slate.All {
+		sig := p.Signature()
+		if seen[sig] {
+			t.Errorf("duplicate package %s in slate", sig)
+		}
+		seen[sig] = true
+	}
+	// Recommended packages respect φ.
+	for _, r := range slate.Recommended {
+		if r.Pkg.Size() > 3 || r.Pkg.Size() == 0 {
+			t.Errorf("package %s violates size bounds", r.Pkg)
+		}
+	}
+}
+
+func TestFeedbackNarrowsSamples(t *testing.T) {
+	e, err := New(testConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Samples(); err != nil {
+		t.Fatal(err)
+	}
+	winner := pkgspace.New(0, 1)
+	loser := pkgspace.New(2)
+	if err := e.Feedback(winner, loser); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Feedback != 1 {
+		t.Errorf("Feedback count = %d", st.Feedback)
+	}
+	if st.ConstraintsActive != 1 {
+		t.Errorf("ConstraintsActive = %d", st.ConstraintsActive)
+	}
+	// Every sample satisfies the constraint after maintenance.
+	wv, err := e.PackageVector(winner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := e.PackageVector(loser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := e.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range samples {
+		dw := feature.Dot(s.W, wv)
+		dl := feature.Dot(s.W, lv)
+		if dw < dl-1e-9 {
+			t.Fatalf("sample %d violates recorded preference: %g < %g", i, dw, dl)
+		}
+	}
+}
+
+func TestClickGeneratesPairwisePreferences(t *testing.T) {
+	e, err := New(testConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := e.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Click(slate.All[0], slate.All); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	want := len(slate.All) - 1 - st.CyclesSkipped
+	if st.Feedback != want {
+		t.Errorf("Feedback = %d, want %d (σ−1 minus cycles)", st.Feedback, want)
+	}
+}
+
+func TestCycleHandledGracefully(t *testing.T) {
+	e, err := New(testConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pkgspace.New(0), pkgspace.New(1)
+	if err := e.Feedback(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Direct contradiction.
+	shown := []pkgspace.Package{a, b}
+	if err := e.Click(b, shown); err != nil {
+		t.Fatalf("Click with contradiction errored: %v", err)
+	}
+	if e.Stats().CyclesSkipped != 1 {
+		t.Errorf("CyclesSkipped = %d, want 1", e.Stats().CyclesSkipped)
+	}
+}
+
+func TestSamplersSelectable(t *testing.T) {
+	for _, kind := range []SamplerKind{SamplerRejection, SamplerImportance, SamplerMCMC} {
+		cfg := testConfig(t, 30)
+		cfg.Sampler = kind
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Samples(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	cfg := testConfig(t, 30)
+	cfg.Sampler = "bogus"
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Samples(); err == nil {
+		t.Error("bogus sampler accepted")
+	}
+}
+
+func TestCheckersSelectable(t *testing.T) {
+	for _, kind := range []CheckerKind{CheckerNaive, CheckerTA, CheckerHybrid} {
+		cfg := testConfig(t, 30)
+		cfg.Checker = kind
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Samples(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Feedback(pkgspace.New(0, 1), pkgspace.New(2)); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestSemanticsSelectable(t *testing.T) {
+	for _, sem := range []ranking.Semantics{ranking.EXP, ranking.TKP, ranking.MPO} {
+		cfg := testConfig(t, 30)
+		cfg.Semantics = sem
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slate, err := e.Recommend()
+		if err != nil {
+			t.Fatalf("%v: %v", sem, err)
+		}
+		if len(slate.Recommended) == 0 {
+			t.Fatalf("%v: empty recommendation", sem)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() []string {
+		e, err := New(testConfig(t, 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slate, err := e.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sigs []string
+		for _, p := range slate.All {
+			sigs = append(sigs, p.Signature())
+		}
+		return sigs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slates differ at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandomPackageBounds(t *testing.T) {
+	e, err := New(testConfig(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p := e.RandomPackage()
+		if p.Size() < 1 || p.Size() > 3 {
+			t.Fatalf("random package size %d", p.Size())
+		}
+		if err := pkgspace.ValidateIDs(e.Space(), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTopKForWeights(t *testing.T) {
+	e, err := New(testConfig(t, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := e.TopKForWeights([]float64{0.8, 0.1, 0.1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 4 {
+		t.Fatalf("got %d packages", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Utility > top[i-1].Utility+1e-12 {
+			t.Error("TopKForWeights not sorted")
+		}
+	}
+	if _, err := e.TopKForWeights([]float64{1}, 2); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+}
+
+func TestInvalidateSamples(t *testing.T) {
+	e, err := New(testConfig(t, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := e.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InvalidateSamples()
+	s2, err := e.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1[0] == &s2[0] {
+		t.Error("samples not regenerated")
+	}
+}
+
+func TestPackageVectorValidation(t *testing.T) {
+	e, err := New(testConfig(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PackageVector(pkgspace.New(99)); err == nil {
+		t.Error("invalid id accepted")
+	}
+}
+
+func TestNoiseModelConfig(t *testing.T) {
+	cfg := testConfig(t, 30)
+	cfg.Psi = 0.8
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Samples(); err != nil {
+		t.Fatal(err)
+	}
+	// With noise, feedback must still be recordable and maintenance run.
+	if err := e.Feedback(pkgspace.New(0, 1), pkgspace.New(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchOptionsPassThrough(t *testing.T) {
+	cfg := testConfig(t, 30)
+	cfg.Search = search.Options{ExpandAll: true}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFeedbackBeforeSampling: feedback recorded before the first Recommend
+// must constrain the initial pool.
+func TestFeedbackBeforeSampling(t *testing.T) {
+	e, err := New(testConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner, loser := pkgspace.New(0, 1), pkgspace.New(2)
+	if err := e.Feedback(winner, loser); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := e.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv, _ := e.PackageVector(winner)
+	lv, _ := e.PackageVector(loser)
+	for i, s := range samples {
+		if feature.Dot(s.W, wv) < feature.Dot(s.W, lv)-1e-9 {
+			t.Fatalf("initial sample %d ignores pre-sampling feedback", i)
+		}
+	}
+}

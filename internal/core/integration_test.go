@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/pkgspace"
+	"toppkg/internal/ranking"
+	"toppkg/internal/search"
+)
+
+// TestEndToEndLearnsHiddenUtility is the full-system integration test: a
+// hidden utility generates consistent feedback; after several rounds the
+// engine's top recommendation must score close to the true optimum under
+// the hidden utility.
+func TestEndToEndLearnsHiddenUtility(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	items := dataset.COR(120, 3, rng)
+	profile := feature.SimpleProfile(feature.AggSum, feature.AggAvg, feature.AggMax)
+	eng, err := New(Config{
+		Items:          items,
+		Profile:        profile,
+		MaxPackageSize: 3,
+		K:              3,
+		RandomCount:    3,
+		SampleCount:    300,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := []float64{0.8, -0.5, 0.3}
+	hu, err := feature.NewUtility(profile, hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(p pkgspace.Package) float64 {
+		return hu.Score(pkgspace.Vector(eng.Space(), p))
+	}
+	for round := 0; round < 8; round++ {
+		slate, err := eng.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestU := 0, score(slate.All[0])
+		for i := 1; i < len(slate.All); i++ {
+			if s := score(slate.All[i]); s > bestU {
+				best, bestU = i, s
+			}
+		}
+		if err := eng.Click(slate.All[best], slate.All); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slate, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := score(slate.Recommended[0].Pkg)
+	// True optimum via the exact oracle.
+	exact := pkgspace.BruteForceTopK(eng.Space(), hu, 1)
+	want := exact[0].Utility
+	if want-got > 0.15*math.Abs(want)+0.02 {
+		t.Errorf("after 8 rounds recommended trueU = %.4f, optimum = %.4f", got, want)
+	}
+	t.Logf("recommended trueU %.4f vs optimum %.4f (%d feedbacks)",
+		got, want, eng.Stats().Feedback)
+}
+
+// TestEngineTinyItemSet: slates must still work when the item set is
+// smaller than the slate.
+func TestEngineTinyItemSet(t *testing.T) {
+	items := []feature.Item{
+		{ID: 0, Values: []float64{0.9, 0.5}},
+		{ID: 1, Values: []float64{0.2, 0.8}},
+	}
+	eng, err := New(Config{
+		Items:          items,
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 2,
+		K:              5, // more than the 3 possible packages
+		SampleCount:    50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slate.Recommended) == 0 || len(slate.Recommended) > 3 {
+		t.Fatalf("recommended %d of 3 possible packages", len(slate.Recommended))
+	}
+}
+
+// TestEngineAllSemanticsAgreeOnDominantPackage: when one package dominates
+// under every plausible weight vector, every semantics must rank it first.
+func TestEngineAllSemanticsAgreeOnDominantPackage(t *testing.T) {
+	// Item 0 dominates everything; the positive-orthant prior is induced by
+	// feedback preferring {0} over everything relevant.
+	items := []feature.Item{
+		{ID: 0, Values: []float64{1.0, 1.0}},
+		{ID: 1, Values: []float64{0.1, 0.1}},
+		{ID: 2, Values: []float64{0.05, 0.2}},
+	}
+	profile := feature.SimpleProfile(feature.AggMax, feature.AggMax)
+	for _, sem := range []ranking.Semantics{ranking.EXP, ranking.TKP, ranking.MPO} {
+		eng, err := New(Config{
+			Items:          items,
+			Profile:        profile,
+			MaxPackageSize: 1,
+			K:              1,
+			Semantics:      sem,
+			SampleCount:    100,
+			Seed:           3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feedback pins positive weights: {0} ≻ {1}, {0} ≻ {2}.
+		if err := eng.Feedback(pkgspace.New(0), pkgspace.New(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Feedback(pkgspace.New(0), pkgspace.New(2)); err != nil {
+			t.Fatal(err)
+		}
+		slate, err := eng.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slate.Recommended[0].Pkg.Signature() != "0" {
+			t.Errorf("%v: top = %s, want {0}", sem, slate.Recommended[0].Pkg)
+		}
+	}
+}
+
+// TestEngineSearchBudgetsRespected: truncating budgets must not break the
+// engine, only bound its work.
+func TestEngineSearchBudgetsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	eng, err := New(Config{
+		Items:          dataset.UNI(500, 3, rng),
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg, feature.AggMin),
+		MaxPackageSize: 4,
+		K:              3,
+		SampleCount:    100,
+		Search:         search.Options{MaxQueue: 16, MaxAccessed: 50},
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slate.Recommended) != 3 {
+		t.Fatalf("budgeted engine returned %d packages", len(slate.Recommended))
+	}
+}

@@ -1,0 +1,133 @@
+// Session persistence: the engine's learned state — the preference DAG and
+// the weight-vector sample pool — serialized as portable JSON keyed by item
+// IDs. The paper's system accumulates a user's preferences across logins
+// (§1, §2.2); Snapshot/Restore provide that durability without persisting
+// the (caller-owned) item catalogue itself.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"toppkg/internal/maintain"
+	"toppkg/internal/pkgspace"
+	"toppkg/internal/prefgraph"
+	"toppkg/internal/sampling"
+)
+
+// Snapshot is the serializable learned state of an engine session.
+type Snapshot struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// Preferences lists the recorded pairwise preferences as item-ID sets
+	// (winner, loser). Vectors are recomputed from the item space on
+	// restore, so snapshots survive re-normalization-compatible reloads of
+	// the same catalogue.
+	Preferences []PreferencePair `json:"preferences"`
+	// Samples is the weight-vector pool; Weights are the importance
+	// weights (same length).
+	Samples [][]float64 `json:"samples"`
+	Weights []float64   `json:"weights"`
+	// Stats preserves the cumulative counters.
+	Stats Stats `json:"stats"`
+}
+
+// PreferencePair is one recorded preference: winner item IDs, loser item
+// IDs.
+type PreferencePair struct {
+	Winner []int `json:"winner"`
+	Loser  []int `json:"loser"`
+}
+
+// snapshotVersion is the current wire format version.
+const snapshotVersion = 1
+
+// Snapshot captures the engine's learned state. It does not force sampling:
+// an engine that never sampled yields a snapshot with an empty pool.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{Version: snapshotVersion, Stats: e.stats}
+	for _, pr := range e.graph.Preferences() {
+		s.Preferences = append(s.Preferences, PreferencePair{
+			Winner: append([]int(nil), pr[0].IDs...),
+			Loser:  append([]int(nil), pr[1].IDs...),
+		})
+	}
+	if e.pool != nil {
+		for _, smp := range e.pool.Samples {
+			s.Samples = append(s.Samples, append([]float64(nil), smp.W...))
+			s.Weights = append(s.Weights, smp.Q)
+		}
+	}
+	return s
+}
+
+// Restore replaces the engine's learned state with the snapshot's: the
+// preference DAG is rebuilt (vectors recomputed against the current item
+// space) and the sample pool installed verbatim. The engine must have been
+// constructed with a compatible item set and profile.
+func (e *Engine) Restore(s *Snapshot) error {
+	if s == nil {
+		return errors.New("core: nil snapshot")
+	}
+	if s.Version != snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	if len(s.Samples) != len(s.Weights) {
+		return fmt.Errorf("core: snapshot has %d samples but %d weights", len(s.Samples), len(s.Weights))
+	}
+	dims := e.space.Dims()
+	for i, w := range s.Samples {
+		if len(w) != dims {
+			return fmt.Errorf("core: snapshot sample %d has %d dims, space has %d", i, len(w), dims)
+		}
+	}
+	g := prefgraph.New()
+	for i, pr := range s.Preferences {
+		winner := pkgspace.New(pr.Winner...)
+		loser := pkgspace.New(pr.Loser...)
+		wv, err := e.PackageVector(winner)
+		if err != nil {
+			return fmt.Errorf("core: snapshot preference %d: %w", i, err)
+		}
+		lv, err := e.PackageVector(loser)
+		if err != nil {
+			return fmt.Errorf("core: snapshot preference %d: %w", i, err)
+		}
+		if err := g.AddPreference(winner, wv, loser, lv); err != nil {
+			return fmt.Errorf("core: snapshot preference %d: %w", i, err)
+		}
+	}
+	e.graph = g
+	e.stats = s.Stats
+	if len(s.Samples) == 0 {
+		e.pool = nil
+		return nil
+	}
+	samples := make([]sampling.Sample, len(s.Samples))
+	for i := range s.Samples {
+		samples[i] = sampling.Sample{
+			W: append([]float64(nil), s.Samples[i]...),
+			Q: s.Weights[i],
+		}
+	}
+	e.pool = maintain.NewPool(samples)
+	e.pool.NewChecker = e.newChecker
+	return nil
+}
+
+// Save writes the engine's snapshot as JSON.
+func (e *Engine) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(e.Snapshot())
+}
+
+// Load restores the engine from JSON written by Save.
+func (e *Engine) Load(r io.Reader) error {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return e.Restore(&s)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/pkgspace"
+)
+
+func persistEngine(t *testing.T) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(200))
+	e, err := New(Config{
+		Items:          dataset.UNI(30, 2, rng),
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 2,
+		K:              2,
+		SampleCount:    80,
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := persistEngine(t)
+	if err := e.Feedback(pkgspace.New(0, 1), pkgspace.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Feedback(pkgspace.New(2), pkgspace.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	slate1, err := e.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh engine over the same catalogue: restore and compare behaviour.
+	e2 := persistEngine(t)
+	if err := e2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e2.Stats().Feedback, e.Stats().Feedback; got != want {
+		t.Errorf("restored Feedback = %d, want %d", got, want)
+	}
+	if got, want := e2.Graph().Edges(), e.Graph().Edges(); got != want {
+		t.Errorf("restored edges = %d, want %d", got, want)
+	}
+	s1, err := e.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e2.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("restored pool size %d, want %d", len(s2), len(s1))
+	}
+	for i := range s1 {
+		for j := range s1[i].W {
+			if s1[i].W[j] != s2[i].W[j] {
+				t.Fatalf("sample %d dim %d differs", i, j)
+			}
+		}
+	}
+	// Recommendations from the restored engine must match (same pool, same
+	// constraints; the rng streams differ but ranking is pool-driven).
+	slate2, err := e2.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slate1.Recommended {
+		if slate1.Recommended[i].Pkg.Signature() != slate2.Recommended[i].Pkg.Signature() {
+			t.Errorf("restored recommendation %d differs: %s vs %s",
+				i, slate1.Recommended[i].Pkg, slate2.Recommended[i].Pkg)
+		}
+	}
+}
+
+func TestSnapshotWithoutSampling(t *testing.T) {
+	e := persistEngine(t)
+	if err := e.Feedback(pkgspace.New(0), pkgspace.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Snapshot()
+	if len(s.Samples) != 0 {
+		t.Errorf("unsampled engine snapshot has %d samples", len(s.Samples))
+	}
+	if len(s.Preferences) != 1 {
+		t.Errorf("snapshot has %d preferences, want 1", len(s.Preferences))
+	}
+	e2 := persistEngine(t)
+	if err := e2.Restore(s); err != nil {
+		t.Fatal(err)
+	}
+	// The restored engine draws a fresh pool under the restored constraints.
+	samples, err := e2.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("restored engine failed to sample")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	e := persistEngine(t)
+	if err := e.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if err := e.Restore(&Snapshot{Version: 99}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if err := e.Restore(&Snapshot{Version: 1, Samples: [][]float64{{1}}, Weights: nil}); err == nil {
+		t.Error("sample/weight length mismatch accepted")
+	}
+	if err := e.Restore(&Snapshot{Version: 1, Samples: [][]float64{{1, 2, 3}}, Weights: []float64{1}}); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	if err := e.Restore(&Snapshot{Version: 1, Preferences: []PreferencePair{
+		{Winner: []int{999}, Loser: []int{0}},
+	}}); err == nil {
+		t.Error("out-of-range item id accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	e := persistEngine(t)
+	if err := e.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns parameters small enough for CI-speed smoke runs.
+func tiny() Params { return Params{Scale: 0.02, Seed: 1} }
+
+func checkTables(t *testing.T, tables []Table, err error, wantTables int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < wantTables {
+		t.Fatalf("got %d tables, want ≥ %d", len(tables), wantTables)
+	}
+	for i, tb := range tables {
+		if tb.Title == "" || len(tb.Header) == 0 {
+			t.Fatalf("table %d missing title/header", i)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %q has no rows", tb.Title)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("table %q row width %d != header %d", tb.Title, len(row), len(tb.Header))
+			}
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	tables, err := Fig4(tiny())
+	checkTables(t, tables, err, 2)
+	if len(tables[0].Rows) != 3 {
+		t.Errorf("fig4 should have one row per sampler, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	tables, err := Fig5(tiny())
+	checkTables(t, tables, err, 3)
+	// Reduction can only shrink the constraint set (numeric comparison).
+	for _, row := range tables[0].Rows {
+		full, err1 := strconv.Atoi(row[1])
+		reduced, err2 := strconv.Atoi(row[2])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("non-numeric constraint counts: %v", row)
+		}
+		if reduced > full {
+			t.Errorf("reduced constraints %d exceed full %d", reduced, full)
+		}
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	tables, err := Fig7(tiny())
+	checkTables(t, tables, err, 2)
+}
+
+func TestQualitySmoke(t *testing.T) {
+	tables, err := Quality(tiny())
+	checkTables(t, tables, err, 1)
+	if len(tables[0].Rows) != 9 {
+		t.Errorf("quality should have 3 samplers × 3 semantics rows, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elicitation sessions are slow")
+	}
+	tables, err := Fig8(Params{Scale: 0.01, Seed: 1})
+	checkTables(t, tables, err, 1)
+	if len(tables[0].Rows) != 5 {
+		t.Errorf("fig8 should have one row per feature count, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweeps all datasets")
+	}
+	tables, err := Fig6(Params{Scale: 0.01, Seed: 1})
+	checkTables(t, tables, err, 10) // 2 tables × 5 datasets
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("registry has %d entries", len(names))
+	}
+	if _, err := Run("nope", tiny()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableFormats(t *testing.T) {
+	tb := Table{
+		Title:  "T",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "n",
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"## T", "a", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint missing %q in %q", want, out)
+		}
+	}
+	buf.Reset()
+	tb.CSV(&buf)
+	if got := buf.String(); got != "a,b\n1,2\n333,4\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestParamsScaled(t *testing.T) {
+	p := Params{Scale: 0.5}
+	if got := p.scaled(1000); got != 500 {
+		t.Errorf("scaled(1000) = %d", got)
+	}
+	if got := p.scaled(1); got != 1 {
+		t.Errorf("scaled floor broken: %d", got)
+	}
+	z := Params{}
+	if got := z.scaled(1000); got != 200 {
+		t.Errorf("zero-scale default = %d, want 200", got)
+	}
+}
+
+func TestScaledFig7Buckets(t *testing.T) {
+	b := scaledFig7Buckets(10000)
+	want := []int{0, 1, 5, 20, 50, 200, 1000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets at paper scale = %v", b)
+		}
+	}
+	small := scaledFig7Buckets(100)
+	for i := 1; i < len(small); i++ {
+		if small[i] <= small[i-1] {
+			t.Fatalf("scaled buckets not strictly increasing: %v", small)
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if got := bucketOf(0, 10000); got != 0 {
+		t.Errorf("bucketOf(0) = %d", got)
+	}
+	if got := bucketOf(3, 10000); got != 2 { // smallest qualifying label: 5
+		t.Errorf("bucketOf(3) = %d", got)
+	}
+	if got := bucketOf(99999, 10000); got != 6 {
+		t.Errorf("bucketOf(big) = %d", got)
+	}
+}
+
+func TestAsciiCloudShape(t *testing.T) {
+	got := asciiCloud(nil)
+	// 8 rows of 16 chars joined by 7 slashes.
+	if len(got) != 16*8+7 {
+		t.Errorf("ascii cloud length %d", len(got))
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner func(Params) ([]Table, error)
+
+// Registry maps experiment names (as accepted by cmd/experiments -fig) to
+// their runners.
+var Registry = map[string]Runner{
+	"4":       Fig4,
+	"5":       Fig5,
+	"6":       Fig6,
+	"7":       Fig7,
+	"8":       Fig8,
+	"quality": Quality,
+}
+
+// Names returns the registered experiment names in run order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run dispatches an experiment by name.
+func Run(name string, p Params) ([]Table, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(p)
+}

@@ -1,0 +1,559 @@
+// Package feature defines items, aggregate feature profiles, utility
+// functions and the incremental package state used throughout the system.
+//
+// An item is an m-dimensional vector of non-negative feature values (with
+// optional nulls). A package is a set of items; its feature vector is
+// obtained by aggregating item values according to a Profile, one entry per
+// utility dimension. Utility is a linear function of the normalized
+// aggregate vector (paper §2, Equation 1).
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Null is the sentinel for a missing feature value. The paper allows items
+// to lack values for some features; aggregates skip nulls.
+var Null = math.NaN()
+
+// IsNull reports whether a feature value is the null sentinel.
+func IsNull(v float64) bool { return math.IsNaN(v) }
+
+// Agg identifies one of the aggregation functions a profile entry may use
+// (paper Definition 1).
+type Agg uint8
+
+// Aggregation functions. AggNull means the dimension is ignored.
+const (
+	AggNull Agg = iota
+	AggMin
+	AggMax
+	AggSum
+	AggAvg
+)
+
+// String returns the lower-case name of the aggregation.
+func (a Agg) String() string {
+	switch a {
+	case AggNull:
+		return "null"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("agg(%d)", uint8(a))
+}
+
+// ParseAgg converts a name such as "sum" into an Agg value.
+func ParseAgg(s string) (Agg, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "null", "":
+		return AggNull, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "sum":
+		return AggSum, nil
+	case "avg", "mean":
+		return AggAvg, nil
+	}
+	return AggNull, fmt.Errorf("feature: unknown aggregation %q", s)
+}
+
+// Item is a single recommendable entity: an identifier plus its raw feature
+// values. Values must be non-negative; use Null for missing values.
+type Item struct {
+	// ID is a dense index into the item set (0..n-1).
+	ID int
+	// Name is an optional human-readable label.
+	Name string
+	// Values holds the raw feature values, Null where missing.
+	Values []float64
+}
+
+// Entry is one utility dimension of an aggregate feature profile: an
+// aggregation applied to one item feature. The paper assumes one entry per
+// feature; allowing several entries to reference the same feature is the
+// generalization the paper notes is straightforward.
+type Entry struct {
+	// Feature is the index of the item feature this entry aggregates.
+	Feature int
+	// Agg is the aggregation function.
+	Agg Agg
+}
+
+// Profile is an aggregate feature profile (paper Definition 1): the list of
+// utility dimensions of the package feature space.
+type Profile struct {
+	entries []Entry
+	// featureCount is the number of raw item features the profile expects.
+	featureCount int
+}
+
+// NewProfile builds a profile over items with featureCount raw features.
+// Every entry's feature index must be within range.
+func NewProfile(featureCount int, entries ...Entry) (*Profile, error) {
+	if featureCount <= 0 {
+		return nil, fmt.Errorf("feature: featureCount must be positive, got %d", featureCount)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("feature: profile needs at least one entry")
+	}
+	for i, e := range entries {
+		if e.Feature < 0 || e.Feature >= featureCount {
+			return nil, fmt.Errorf("feature: entry %d references feature %d, want [0,%d)", i, e.Feature, featureCount)
+		}
+	}
+	cp := make([]Entry, len(entries))
+	copy(cp, entries)
+	return &Profile{entries: cp, featureCount: featureCount}, nil
+}
+
+// MustProfile is NewProfile that panics on error; intended for tests,
+// examples and literals whose validity is static.
+func MustProfile(featureCount int, entries ...Entry) *Profile {
+	p, err := NewProfile(featureCount, entries...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SimpleProfile builds the paper's default profile: entry i applies aggs[i]
+// to feature i.
+func SimpleProfile(aggs ...Agg) *Profile {
+	entries := make([]Entry, len(aggs))
+	for i, a := range aggs {
+		entries[i] = Entry{Feature: i, Agg: a}
+	}
+	return MustProfile(len(aggs), entries...)
+}
+
+// Dims returns the number of utility dimensions (profile entries).
+func (p *Profile) Dims() int { return len(p.entries) }
+
+// FeatureCount returns the number of raw item features the profile expects.
+func (p *Profile) FeatureCount() int { return p.featureCount }
+
+// Entry returns the i-th profile entry.
+func (p *Profile) Entry(i int) Entry { return p.entries[i] }
+
+// Entries returns a copy of the profile's entries.
+func (p *Profile) Entries() []Entry {
+	cp := make([]Entry, len(p.entries))
+	copy(cp, p.entries)
+	return cp
+}
+
+// String renders the profile as e.g. "(sum0, avg1)".
+func (p *Profile) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, e := range p.entries {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s%d", e.Agg, e.Feature)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Normalizer scales raw aggregate values into [0,1] per dimension. The
+// scale for a dimension is the maximum aggregate value achievable by any
+// package of size at most maxSize (paper §2): for sum, the sum of the
+// maxSize largest values of the feature; for min, max and avg, the maximum
+// item value.
+type Normalizer struct {
+	scales []float64
+}
+
+// NewNormalizer computes the per-dimension scales for the given items,
+// profile and maximum package size.
+func NewNormalizer(items []Item, p *Profile, maxSize int) (*Normalizer, error) {
+	if maxSize <= 0 {
+		return nil, fmt.Errorf("feature: maxSize must be positive, got %d", maxSize)
+	}
+	scales := make([]float64, p.Dims())
+	for d, e := range p.entries {
+		if e.Agg == AggNull {
+			scales[d] = 1
+			continue
+		}
+		var vals []float64
+		for i := range items {
+			v := items[i].Values[e.Feature]
+			if IsNull(v) {
+				continue
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("feature: item %d has negative value %g on feature %d", items[i].ID, v, e.Feature)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			scales[d] = 1
+			continue
+		}
+		switch e.Agg {
+		case AggSum:
+			sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+			top := maxSize
+			if top > len(vals) {
+				top = len(vals)
+			}
+			s := 0.0
+			for _, v := range vals[:top] {
+				s += v
+			}
+			scales[d] = s
+		default: // min, max, avg: the best achievable is the single best item.
+			best := 0.0
+			for _, v := range vals {
+				if v > best {
+					best = v
+				}
+			}
+			scales[d] = best
+		}
+		if scales[d] == 0 {
+			scales[d] = 1
+		}
+	}
+	return &Normalizer{scales: scales}, nil
+}
+
+// Scale returns the normalization divisor for dimension d.
+func (n *Normalizer) Scale(d int) float64 { return n.scales[d] }
+
+// Dims returns the number of dimensions the normalizer covers.
+func (n *Normalizer) Dims() int { return len(n.scales) }
+
+// Apply divides raw aggregate vector v in place by the per-dimension scales
+// and returns it.
+func (n *Normalizer) Apply(v []float64) []float64 {
+	for i := range v {
+		v[i] /= n.scales[i]
+	}
+	return v
+}
+
+// Space bundles the immutable inputs of a recommendation problem: the item
+// set, the profile, the package size bound and the derived normalizer. It
+// is the context against which packages are evaluated.
+type Space struct {
+	Items   []Item
+	Profile *Profile
+	// MaxSize is φ, the system-defined maximum package size.
+	MaxSize int
+	Norm    *Normalizer
+	// hasNull[f] records whether any item lacks feature f; used by the
+	// upper-bound estimator to decide whether a "no contribution" pad is
+	// attainable.
+	hasNull []bool
+}
+
+// NewSpace validates the items against the profile and precomputes the
+// normalizer and null-presence flags.
+func NewSpace(items []Item, p *Profile, maxSize int) (*Space, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("feature: empty item set")
+	}
+	for i := range items {
+		if len(items[i].Values) != p.FeatureCount() {
+			return nil, fmt.Errorf("feature: item %d has %d values, profile expects %d",
+				items[i].ID, len(items[i].Values), p.FeatureCount())
+		}
+	}
+	norm, err := NewNormalizer(items, p, maxSize)
+	if err != nil {
+		return nil, err
+	}
+	hasNull := make([]bool, p.FeatureCount())
+	for i := range items {
+		for f, v := range items[i].Values {
+			if IsNull(v) {
+				hasNull[f] = true
+			}
+		}
+	}
+	return &Space{Items: items, Profile: p, MaxSize: maxSize, Norm: norm, hasNull: hasNull}, nil
+}
+
+// HasNull reports whether any item is missing feature f.
+func (s *Space) HasNull(f int) bool { return s.hasNull[f] }
+
+// Dims returns the number of utility dimensions.
+func (s *Space) Dims() int { return s.Profile.Dims() }
+
+// N returns the number of items.
+func (s *Space) N() int { return len(s.Items) }
+
+// State is the incremental aggregate state of a package under construction:
+// per utility dimension it tracks the running count of non-null
+// contributions, their sum, min and max, plus the total package size. Adding
+// an item is O(dims); the normalized aggregate vector and utility follow in
+// O(dims).
+type State struct {
+	space *Space
+	// Size is the number of items in the package (nulls included, per the
+	// paper's avg definition which divides by |p|).
+	Size int
+	// count[d], sum[d], min[d], max[d] summarize the non-null values of the
+	// feature behind dimension d.
+	count []int
+	sum   []float64
+	min   []float64
+	max   []float64
+}
+
+// NewState returns the state of the empty package in space s.
+func NewState(s *Space) *State {
+	d := s.Dims()
+	st := &State{
+		space: s,
+		count: make([]int, d),
+		sum:   make([]float64, d),
+		min:   make([]float64, d),
+		max:   make([]float64, d),
+	}
+	for i := 0; i < d; i++ {
+		st.min[i] = math.Inf(1)
+		st.max[i] = math.Inf(-1)
+	}
+	return st
+}
+
+// CopyFrom overwrites st with the contents of src (which must be over the
+// same space), reusing st's storage — the allocation-free alternative to
+// Clone for scratch states.
+func (st *State) CopyFrom(src *State) {
+	st.space = src.space
+	st.Size = src.Size
+	copy(st.count, src.count)
+	copy(st.sum, src.sum)
+	copy(st.min, src.min)
+	copy(st.max, src.max)
+}
+
+// Clone returns an independent copy of the state.
+func (st *State) Clone() *State {
+	cp := &State{
+		space: st.space,
+		Size:  st.Size,
+		count: append([]int(nil), st.count...),
+		sum:   append([]float64(nil), st.sum...),
+		min:   append([]float64(nil), st.min...),
+		max:   append([]float64(nil), st.max...),
+	}
+	return cp
+}
+
+// Add folds one item's values into the state. values must have the space's
+// raw feature count; pass ContribNull for dimensions an imaginary item
+// should skip (see AddContrib).
+func (st *State) Add(it Item) {
+	st.Size++
+	for d, e := range st.space.Profile.entries {
+		if e.Agg == AggNull {
+			continue
+		}
+		v := it.Values[e.Feature]
+		if IsNull(v) {
+			continue
+		}
+		st.fold(d, v)
+	}
+}
+
+// Contrib is a per-dimension contribution of an imaginary item used by the
+// upper-bound estimator: either a concrete value or "no contribution".
+type Contrib struct {
+	// Skip true means the imaginary item is null on this dimension's feature.
+	Skip bool
+	// Value is the contributed value when Skip is false.
+	Value float64
+}
+
+// AddContrib folds an imaginary item given explicit per-dimension
+// contributions. The package size still increases by one (nulls count
+// toward |p| in the paper's avg).
+func (st *State) AddContrib(contribs []Contrib) {
+	st.Size++
+	for d := range st.space.Profile.entries {
+		c := contribs[d]
+		if c.Skip || st.space.Profile.entries[d].Agg == AggNull {
+			continue
+		}
+		st.fold(d, c.Value)
+	}
+}
+
+func (st *State) fold(d int, v float64) {
+	st.count[d]++
+	st.sum[d] += v
+	if v < st.min[d] {
+		st.min[d] = v
+	}
+	if v > st.max[d] {
+		st.max[d] = v
+	}
+}
+
+// AggregateAfter returns the raw aggregate of dimension d as it would be if
+// one more item were added with contribution c. The package size increments
+// regardless of Skip (nulls count toward |p| in the paper's avg), but only a
+// non-skipped value folds into the dimension.
+func (st *State) AggregateAfter(d int, c Contrib) float64 {
+	e := st.space.Profile.entries[d]
+	if e.Agg == AggNull {
+		return 0
+	}
+	count, sum, mn, mx := st.count[d], st.sum[d], st.min[d], st.max[d]
+	if !c.Skip {
+		count++
+		sum += c.Value
+		if c.Value < mn {
+			mn = c.Value
+		}
+		if c.Value > mx {
+			mx = c.Value
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	switch e.Agg {
+	case AggMin:
+		return mn
+	case AggMax:
+		return mx
+	case AggSum:
+		return sum
+	case AggAvg:
+		return sum / float64(st.Size+1)
+	}
+	return 0
+}
+
+// Aggregate returns the raw (unnormalized) aggregate value of dimension d.
+// Dimensions with no non-null contributions aggregate to 0.
+func (st *State) Aggregate(d int) float64 {
+	e := st.space.Profile.entries[d]
+	if e.Agg == AggNull || st.count[d] == 0 {
+		return 0
+	}
+	switch e.Agg {
+	case AggMin:
+		return st.min[d]
+	case AggMax:
+		return st.max[d]
+	case AggSum:
+		return st.sum[d]
+	case AggAvg:
+		return st.sum[d] / float64(st.Size)
+	}
+	return 0
+}
+
+// Vector returns the normalized aggregate feature vector of the package.
+func (st *State) Vector() []float64 {
+	v := make([]float64, st.space.Dims())
+	for d := range v {
+		v[d] = st.Aggregate(d) / st.space.Norm.Scale(d)
+	}
+	return v
+}
+
+// VectorInto writes the normalized aggregate vector into dst (which must
+// have length Dims) and returns it, avoiding an allocation.
+func (st *State) VectorInto(dst []float64) []float64 {
+	for d := range dst {
+		dst[d] = st.Aggregate(d) / st.space.Norm.Scale(d)
+	}
+	return dst
+}
+
+// Utility is the linear utility function U(p) = w·p⃗ over normalized
+// aggregate vectors (paper Equation 1). Weights conventionally lie in
+// [-1,1]; a positive weight prefers larger aggregate values.
+type Utility struct {
+	W []float64
+}
+
+// NewUtility validates the weight vector against the profile dimension.
+func NewUtility(p *Profile, w []float64) (*Utility, error) {
+	if len(w) != p.Dims() {
+		return nil, fmt.Errorf("feature: weight vector has %d dims, profile has %d", len(w), p.Dims())
+	}
+	return &Utility{W: append([]float64(nil), w...)}, nil
+}
+
+// Score returns w·vec.
+func (u *Utility) Score(vec []float64) float64 {
+	return Dot(u.W, vec)
+}
+
+// ScoreState returns the utility of a package state.
+func (u *Utility) ScoreState(st *State) float64 {
+	s := 0.0
+	for d, w := range u.W {
+		if w == 0 {
+			continue
+		}
+		s += w * st.Aggregate(d) / st.space.Norm.Scale(d)
+	}
+	return s
+}
+
+// SetMonotone reports whether the utility is set-monotone over the given
+// profile: U(p ∪ p') ≥ U(p) for all packages (paper §4.1). This holds iff
+// every dimension with non-zero weight is (sum or max with w ≥ 0) or
+// (min with w ≤ 0); avg is never set-monotone.
+func (u *Utility) SetMonotone(p *Profile) bool {
+	for d, e := range p.entries {
+		w := u.W[d]
+		if w == 0 || e.Agg == AggNull {
+			continue
+		}
+		switch e.Agg {
+		case AggSum, AggMax:
+			if w < 0 {
+				return false
+			}
+		case AggMin:
+			if w > 0 {
+				return false
+			}
+		case AggAvg:
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// ItemVector returns the normalized single-item aggregate vector for item
+// it, i.e. the vector of the package {it}.
+func (s *Space) ItemVector(it Item) []float64 {
+	st := NewState(s)
+	st.Add(it)
+	return st.Vector()
+}

@@ -1,0 +1,300 @@
+// Package gaussmix implements diagonal-covariance Gaussian mixture models:
+// density evaluation, sampling, default priors, and EM refitting.
+//
+// The paper models the uncertainty over the utility weight vector w as a
+// mixture of Gaussians (§2.1), which can approximate any density. The
+// posterior under preference feedback has no closed form; refitting the
+// mixture with EM after every feedback is the costly baseline the paper
+// rejects (§3.1) in favour of constrained sampling — EM lives here so the
+// benchmarks can quantify that choice.
+package gaussmix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Component is one mixture component with diagonal covariance.
+type Component struct {
+	// Weight is the non-negative mixing proportion; a mixture's weights sum
+	// to one.
+	Weight float64
+	// Mean is the component mean.
+	Mean []float64
+	// Std holds the per-dimension standard deviations (all positive).
+	Std []float64
+}
+
+// Mixture is a Gaussian mixture distribution over R^d.
+type Mixture struct {
+	Components []Component
+	dims       int
+}
+
+// New validates the components and returns the mixture. Weights are
+// normalized to sum to one.
+func New(components ...Component) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("gaussmix: mixture needs at least one component")
+	}
+	d := len(components[0].Mean)
+	total := 0.0
+	for i, c := range components {
+		if len(c.Mean) != d || len(c.Std) != d {
+			return nil, fmt.Errorf("gaussmix: component %d has inconsistent dims", i)
+		}
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("gaussmix: component %d has negative weight", i)
+		}
+		for j, s := range c.Std {
+			if s <= 0 {
+				return nil, fmt.Errorf("gaussmix: component %d std[%d]=%g must be positive", i, j, s)
+			}
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("gaussmix: weights sum to %g, want positive", total)
+	}
+	cp := make([]Component, len(components))
+	for i, c := range components {
+		cp[i] = Component{
+			Weight: c.Weight / total,
+			Mean:   append([]float64(nil), c.Mean...),
+			Std:    append([]float64(nil), c.Std...),
+		}
+	}
+	return &Mixture{Components: cp, dims: d}, nil
+}
+
+// Dims returns the dimensionality of the mixture.
+func (m *Mixture) Dims() int { return m.dims }
+
+// DefaultPrior returns the system-default prior used before any feedback: k
+// components with means spread uniformly at random in [-1,1]^dims, std 0.5,
+// equal weights. With k=1 the mean is the origin (total ignorance).
+func DefaultPrior(dims, k int, rng *rand.Rand) *Mixture {
+	if k < 1 {
+		k = 1
+	}
+	comps := make([]Component, k)
+	for i := 0; i < k; i++ {
+		mean := make([]float64, dims)
+		if i > 0 || k > 1 {
+			for j := range mean {
+				mean[j] = rng.Float64()*2 - 1
+			}
+		}
+		std := make([]float64, dims)
+		for j := range std {
+			std[j] = 0.5
+		}
+		comps[i] = Component{Weight: 1, Mean: mean, Std: std}
+	}
+	m, err := New(comps...)
+	if err != nil {
+		panic(err) // unreachable: construction above is always valid
+	}
+	return m
+}
+
+const log2Pi = 1.8378770664093453 // ln(2π)
+
+// LogPDF returns the log density at x.
+func (m *Mixture) LogPDF(x []float64) float64 {
+	// log-sum-exp over components for numerical stability.
+	maxLog := math.Inf(-1)
+	logs := make([]float64, len(m.Components))
+	for i := range m.Components {
+		c := &m.Components[i]
+		l := math.Log(c.Weight) + logGauss(x, c.Mean, c.Std)
+		logs[i] = l
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return math.Inf(-1)
+	}
+	s := 0.0
+	for _, l := range logs {
+		s += math.Exp(l - maxLog)
+	}
+	return maxLog + math.Log(s)
+}
+
+// PDF returns the density at x.
+func (m *Mixture) PDF(x []float64) float64 {
+	return math.Exp(m.LogPDF(x))
+}
+
+func logGauss(x, mean, std []float64) float64 {
+	l := 0.0
+	for j := range x {
+		z := (x[j] - mean[j]) / std[j]
+		l += -0.5*z*z - math.Log(std[j]) - 0.5*log2Pi
+	}
+	return l
+}
+
+// Sample draws one vector from the mixture.
+func (m *Mixture) Sample(rng *rand.Rand) []float64 {
+	x := make([]float64, m.dims)
+	m.SampleInto(rng, x)
+	return x
+}
+
+// SampleInto draws one vector into dst (length Dims).
+func (m *Mixture) SampleInto(rng *rand.Rand, dst []float64) {
+	c := &m.Components[m.pick(rng)]
+	for j := range dst {
+		dst[j] = c.Mean[j] + rng.NormFloat64()*c.Std[j]
+	}
+}
+
+func (m *Mixture) pick(rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i := range m.Components {
+		acc += m.Components[i].Weight
+		if u <= acc {
+			return i
+		}
+	}
+	return len(m.Components) - 1
+}
+
+// Gaussian returns a single-component mixture with the given mean and
+// isotropic standard deviation; it is the proposal distribution used by
+// importance sampling (§3.2.1).
+func Gaussian(mean []float64, std float64) *Mixture {
+	stds := make([]float64, len(mean))
+	for i := range stds {
+		stds[i] = std
+	}
+	m, err := New(Component{Weight: 1, Mean: append([]float64(nil), mean...), Std: stds})
+	if err != nil {
+		panic(err) // unreachable for std > 0
+	}
+	return m
+}
+
+// FitEM refits a k-component mixture to weighted samples by
+// expectation-maximization. This is the posterior-refitting baseline the
+// paper deems too expensive (§3.1); it exists so benches can measure it.
+// xs[i] is a sample with non-negative weight ws[i] (pass nil for uniform).
+// iters is the number of EM iterations. The initial components are seeded
+// from evenly spaced samples.
+func FitEM(xs [][]float64, ws []float64, k, iters int, rng *rand.Rand) (*Mixture, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("gaussmix: no samples to fit")
+	}
+	if k < 1 {
+		k = 1
+	}
+	d := len(xs[0])
+	if ws == nil {
+		ws = make([]float64, n)
+		for i := range ws {
+			ws[i] = 1
+		}
+	}
+	// Initialize means from spread-out samples, std from the global scale.
+	comps := make([]Component, k)
+	for c := 0; c < k; c++ {
+		idx := c * n / k
+		mean := append([]float64(nil), xs[idx]...)
+		std := make([]float64, d)
+		for j := range std {
+			std[j] = 0.5
+		}
+		comps[c] = Component{Weight: 1.0 / float64(k), Mean: mean, Std: std}
+	}
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	const minStd = 1e-3
+	for it := 0; it < iters; it++ {
+		// E step: responsibilities.
+		for i := 0; i < n; i++ {
+			maxLog := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				l := math.Log(comps[c].Weight) + logGauss(xs[i], comps[c].Mean, comps[c].Std)
+				resp[i][c] = l
+				if l > maxLog {
+					maxLog = l
+				}
+			}
+			s := 0.0
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Exp(resp[i][c] - maxLog)
+				s += resp[i][c]
+			}
+			for c := 0; c < k; c++ {
+				resp[i][c] /= s
+			}
+		}
+		// M step: weighted means, stds, mixing weights.
+		for c := 0; c < k; c++ {
+			wTot := 0.0
+			mean := make([]float64, d)
+			for i := 0; i < n; i++ {
+				g := resp[i][c] * ws[i]
+				wTot += g
+				for j := 0; j < d; j++ {
+					mean[j] += g * xs[i][j]
+				}
+			}
+			if wTot <= 0 {
+				// Dead component: re-seed at a random sample.
+				copy(comps[c].Mean, xs[rng.Intn(n)])
+				comps[c].Weight = 1e-6
+				continue
+			}
+			for j := 0; j < d; j++ {
+				mean[j] /= wTot
+			}
+			std := make([]float64, d)
+			for i := 0; i < n; i++ {
+				g := resp[i][c] * ws[i]
+				for j := 0; j < d; j++ {
+					dx := xs[i][j] - mean[j]
+					std[j] += g * dx * dx
+				}
+			}
+			for j := 0; j < d; j++ {
+				std[j] = math.Sqrt(std[j] / wTot)
+				if std[j] < minStd {
+					std[j] = minStd
+				}
+			}
+			comps[c].Mean = mean
+			comps[c].Std = std
+			comps[c].Weight = wTot
+		}
+		// Normalize weights.
+		tot := 0.0
+		for c := 0; c < k; c++ {
+			tot += comps[c].Weight
+		}
+		for c := 0; c < k; c++ {
+			comps[c].Weight /= tot
+		}
+	}
+	return New(comps...)
+}
+
+// Mean returns the mixture mean Σ weight_c · mean_c.
+func (m *Mixture) Mean() []float64 {
+	out := make([]float64, m.dims)
+	for i := range m.Components {
+		c := &m.Components[i]
+		for j := range out {
+			out[j] += c.Weight * c.Mean[j]
+		}
+	}
+	return out
+}

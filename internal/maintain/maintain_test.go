@@ -1,0 +1,234 @@
+package maintain
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"toppkg/internal/gaussmix"
+	"toppkg/internal/pkgspace"
+	"toppkg/internal/prefgraph"
+	"toppkg/internal/sampling"
+	"toppkg/internal/topk"
+)
+
+func constraint(diff ...float64) prefgraph.Constraint {
+	return prefgraph.Constraint{Winner: pkgspace.New(0), Loser: pkgspace.New(1), Diff: diff}
+}
+
+func randomSamples(rng *rand.Rand, n, d int) []sampling.Sample {
+	out := make([]sampling.Sample, n)
+	for i := range out {
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = rng.Float64()*2 - 1
+		}
+		out[i] = sampling.Sample{W: w, Q: 1}
+	}
+	return out
+}
+
+func TestQueryNegatesDiff(t *testing.T) {
+	c := constraint(0.5, -0.3)
+	q := Query(c)
+	if q[0] != -0.5 || q[1] != 0.3 {
+		t.Errorf("Query = %v, want (-0.5, 0.3)", q)
+	}
+}
+
+// TestCheckersAgree: all three strategies must find exactly the same
+// violator set on random pools and constraints.
+func TestCheckersAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		d := 1 + rng.Intn(5)
+		pool := topk.NewPool(sampling.Weights(randomSamples(rng, n, d)))
+		diff := make([]float64, d)
+		for j := range diff {
+			diff[j] = rng.Float64()*2 - 1
+		}
+		q := Query(constraint(diff...))
+		naive, _ := (&Naive{P: pool}).Violators(q)
+		ta, _ := (&TA{P: pool}).Violators(q)
+		hybrid, _ := (&Hybrid{P: pool, Gamma: 0.025}).Violators(q)
+		sort.Ints(ta)
+		sort.Ints(hybrid)
+		if len(naive) != len(ta) || len(naive) != len(hybrid) {
+			return false
+		}
+		for i := range naive {
+			if naive[i] != ta[i] || naive[i] != hybrid[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTAWinsWhenFewViolators reproduces Figure 7's left end: when almost no
+// samples violate the feedback, TA does far less work than the naive scan.
+func TestTAWinsWhenFewViolators(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10000
+	samples := make([]sampling.Sample, n)
+	for i := range samples {
+		// All samples in the positive quadrant.
+		samples[i] = sampling.Sample{W: []float64{rng.Float64(), rng.Float64()}, Q: 1}
+	}
+	pool := topk.NewPool(sampling.Weights(samples))
+	// Query (-1,-1): w·q < 0 for all — zero violators.
+	q := []float64{-1, -1}
+	naive := &Naive{P: pool}
+	ta := &TA{P: pool}
+	vN, workN := naive.Violators(q)
+	vT, workT := ta.Violators(q)
+	if len(vN) != 0 || len(vT) != 0 {
+		t.Fatalf("violators found where none exist: %d, %d", len(vN), len(vT))
+	}
+	if workT >= workN/10 {
+		t.Errorf("TA work %d not ≪ naive %d on zero-violator query", workT, workN)
+	}
+}
+
+// TestNaiveWinsWhenManyViolators reproduces Figure 7's right end: when most
+// samples violate, pure TA costs more than a scan, and the hybrid stays
+// within (1+γ) of naive.
+func TestNaiveWinsWhenManyViolators(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 10000
+	samples := make([]sampling.Sample, n)
+	for i := range samples {
+		samples[i] = sampling.Sample{W: []float64{rng.Float64(), rng.Float64()}, Q: 1}
+	}
+	pool := topk.NewPool(sampling.Weights(samples))
+	q := []float64{1, 1} // every sample violates
+	_, workN := (&Naive{P: pool}).Violators(q)
+	_, workT := (&TA{P: pool}).Violators(q)
+	gamma := 0.025
+	vH, workH := (&Hybrid{P: pool, Gamma: gamma}).Violators(q)
+	if len(vH) != n {
+		t.Fatalf("hybrid missed violators: %d of %d", len(vH), n)
+	}
+	if workT <= workN {
+		t.Errorf("TA work %d not worse than naive %d on all-violator query", workT, workN)
+	}
+	if float64(workH) > float64(workN)*(1+gamma)+1 {
+		t.Errorf("hybrid work %d exceeds (1+γ)·naive = %g", workH, float64(workN)*(1+gamma))
+	}
+}
+
+// TestHybridGammaSpectrum: larger γ lets the hybrid behave more like TA
+// (more sorted accesses before fallback) — Figure 7(b)'s mechanism.
+func TestHybridGammaSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 5000
+	samples := randomSamples(rng, n, 3)
+	pool := topk.NewPool(sampling.Weights(samples))
+	q := []float64{0.7, 0.5, 0.6} // roughly half the samples violate
+	_, workSmall := (&Hybrid{P: pool, Gamma: 0.001}).Violators(q)
+	_, workLarge := (&Hybrid{P: pool, Gamma: 10}).Violators(q)
+	_, workTA := (&TA{P: pool}).Violators(q)
+	if workLarge != workTA {
+		t.Errorf("γ=10 hybrid work %d != pure TA %d", workLarge, workTA)
+	}
+	if workSmall > n+n/100+3 {
+		t.Errorf("γ≈0 hybrid work %d far above naive %d", workSmall, n)
+	}
+}
+
+func TestPoolApplyReplacesViolators(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	samples := randomSamples(rng, 500, 2)
+	p := NewPool(samples)
+	c := constraint(1, 0) // winner better on dim 0: violators have w[0] < 0
+	prior := gaussmix.DefaultPrior(2, 1, rng)
+	v := sampling.NewValidator(2, []prefgraph.Constraint{c})
+	s := &sampling.Rejection{Prior: prior, V: v}
+	replaced, work, err := p.Apply(c, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced == 0 {
+		t.Fatal("no samples replaced; expected roughly half")
+	}
+	if work == 0 {
+		t.Fatal("checker reported zero work")
+	}
+	// After replacement no sample violates the constraint.
+	for i, smp := range p.Samples {
+		if c.Violates(smp.W) {
+			t.Fatalf("sample %d still violates after Apply", i)
+		}
+	}
+	// A second Apply of the same constraint replaces nothing.
+	replaced2, _, err := p.Apply(c, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced2 != 0 {
+		t.Errorf("second Apply replaced %d, want 0", replaced2)
+	}
+}
+
+func TestPoolApplyKeepsValidSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := randomSamples(rng, 200, 2)
+	// Remember which samples are valid beforehand.
+	c := constraint(0, 1)
+	validBefore := map[int][]float64{}
+	for i, s := range samples {
+		if !c.Violates(s.W) {
+			validBefore[i] = append([]float64(nil), s.W...)
+		}
+	}
+	p := NewPool(samples)
+	prior := gaussmix.DefaultPrior(2, 1, rng)
+	v := sampling.NewValidator(2, []prefgraph.Constraint{c})
+	if _, _, err := p.Apply(c, &sampling.Rejection{Prior: prior, V: v}, rng); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range validBefore {
+		for j := range w {
+			if p.Samples[i].W[j] != w[j] {
+				t.Fatalf("valid sample %d was touched", i)
+			}
+		}
+	}
+}
+
+func TestPoolIndexInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := NewPool(randomSamples(rng, 50, 2))
+	idx1 := p.Index()
+	if p.Index() != idx1 {
+		t.Error("index not cached")
+	}
+	p.Invalidate()
+	if p.Index() == idx1 {
+		t.Error("index not rebuilt after Invalidate")
+	}
+}
+
+func TestPoolCustomChecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := NewPool(randomSamples(rng, 100, 2))
+	used := false
+	p.NewChecker = func(ix *topk.Pool) Checker {
+		used = true
+		return &Naive{P: ix}
+	}
+	c := constraint(1, 1)
+	prior := gaussmix.DefaultPrior(2, 1, rng)
+	v := sampling.NewValidator(2, []prefgraph.Constraint{c})
+	if _, _, err := p.Apply(c, &sampling.Rejection{Prior: prior, V: v}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !used {
+		t.Error("custom checker not used")
+	}
+}

@@ -1,0 +1,301 @@
+package prefgraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"toppkg/internal/pkgspace"
+)
+
+func vec(xs ...float64) []float64 { return xs }
+
+func TestAddPreferenceAndConstraint(t *testing.T) {
+	g := New()
+	a, b := pkgspace.New(0), pkgspace.New(1)
+	if err := g.AddPreference(a, vec(0.8, 0.2), b, vec(0.3, 0.5)); err != nil {
+		t.Fatalf("AddPreference: %v", err)
+	}
+	cs := g.Constraints(false)
+	if len(cs) != 1 {
+		t.Fatalf("constraints = %d, want 1", len(cs))
+	}
+	c := cs[0]
+	if c.Diff[0] != 0.5 || c.Diff[1] != -0.3 {
+		t.Errorf("Diff = %v, want (0.5, -0.3)", c.Diff)
+	}
+	// w = (1, 0): w·diff = 0.5 ≥ 0 → consistent.
+	if c.Violates(vec(1, 0)) {
+		t.Error("consistent w flagged as violating")
+	}
+	// w = (0, 1): w·diff = -0.3 < 0 → violates.
+	if !c.Violates(vec(0, 1)) {
+		t.Error("violating w not flagged")
+	}
+}
+
+func TestDuplicateEdgeNoOp(t *testing.T) {
+	g := New()
+	a, b := pkgspace.New(0), pkgspace.New(1)
+	va, vb := vec(1.0), vec(0.0)
+	if err := g.AddPreference(a, va, b, vb); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPreference(a, va, b, vb); err != nil {
+		t.Fatalf("duplicate add errored: %v", err)
+	}
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d, want 1", g.Edges())
+	}
+}
+
+func TestSelfPreferenceRejected(t *testing.T) {
+	g := New()
+	a := pkgspace.New(0)
+	if err := g.AddPreference(a, vec(1.0), a, vec(1.0)); err == nil {
+		t.Error("self preference accepted")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	a, b, c := pkgspace.New(0), pkgspace.New(1), pkgspace.New(2)
+	va, vb, vc := vec(3.0), vec(2.0), vec(1.0)
+	if err := g.AddPreference(a, va, b, vb); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPreference(b, vb, c, vc); err != nil {
+		t.Fatal(err)
+	}
+	// c ≻ a closes a cycle a→b→c→a.
+	err := g.AddPreference(c, vc, a, va)
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+	if g.Edges() != 2 {
+		t.Errorf("cycle add mutated graph: edges = %d", g.Edges())
+	}
+	// The cycle path a ⇝ c is what the UI would present.
+	path := g.CyclePath(a, c)
+	if len(path) != 3 || !pkgspace.Equal(path[0], a) || !pkgspace.Equal(path[2], c) {
+		t.Errorf("CyclePath = %v", path)
+	}
+}
+
+func TestCyclePathMissing(t *testing.T) {
+	g := New()
+	a, b := pkgspace.New(0), pkgspace.New(1)
+	if g.CyclePath(a, b) != nil {
+		t.Error("path on empty graph")
+	}
+	if err := g.AddPreference(a, vec(1.0), b, vec(0.0)); err != nil {
+		t.Fatal(err)
+	}
+	if g.CyclePath(b, a) != nil {
+		t.Error("reverse path should not exist")
+	}
+}
+
+func TestRemovePreference(t *testing.T) {
+	g := New()
+	a, b := pkgspace.New(0), pkgspace.New(1)
+	if err := g.AddPreference(a, vec(1.0), b, vec(0.0)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RemovePreference(a, b) {
+		t.Error("remove failed")
+	}
+	if g.RemovePreference(a, b) {
+		t.Error("double remove succeeded")
+	}
+	if g.Edges() != 0 {
+		t.Errorf("Edges = %d, want 0", g.Edges())
+	}
+	// After removal the reverse direction is insertable (cycle resolution).
+	if err := g.AddPreference(b, vec(0.0), a, vec(1.0)); err != nil {
+		t.Errorf("reversed edge rejected: %v", err)
+	}
+}
+
+// TestTransitiveReduction: a ≻ b, b ≻ c, a ≻ c — the last is redundant.
+func TestTransitiveReduction(t *testing.T) {
+	g := New()
+	a, b, c := pkgspace.New(0), pkgspace.New(1), pkgspace.New(2)
+	va, vb, vc := vec(3.0), vec(2.0), vec(1.0)
+	for _, e := range [][2]struct {
+		p pkgspace.Package
+		v []float64
+	}{
+		{{a, va}, {b, vb}},
+		{{b, vb}, {c, vc}},
+		{{a, va}, {c, vc}},
+	} {
+		if err := g.AddPreference(e[0].p, e[0].v, e[1].p, e[1].v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := g.Constraints(false)
+	reduced := g.Constraints(true)
+	if len(full) != 3 || len(reduced) != 2 {
+		t.Fatalf("full=%d reduced=%d, want 3 and 2", len(full), len(reduced))
+	}
+	// The graph itself is untouched by Constraints.
+	if g.Edges() != 3 {
+		t.Errorf("Constraints mutated graph: %d edges", g.Edges())
+	}
+	if removed := g.Reduce(); removed != 1 {
+		t.Errorf("Reduce removed %d, want 1", removed)
+	}
+	if g.Edges() != 2 {
+		t.Errorf("post-Reduce edges = %d, want 2", g.Edges())
+	}
+}
+
+// TestReductionPreservesReachability: the transitive closure must be
+// identical before and after reduction — the core §3.3 guarantee that
+// pruned constraints are implied.
+func TestReductionPreservesReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(6)
+		// Random DAG over a fixed topological order 0..n-1.
+		g := New()
+		pkgs := make([]pkgspace.Package, n)
+		vecs := make([][]float64, n)
+		for i := range pkgs {
+			pkgs[i] = pkgspace.New(i)
+			vecs[i] = vec(float64(n-i), r.Float64())
+		}
+		type edge struct{ u, v int }
+		var edges []edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.4 {
+					if err := g.AddPreference(pkgs[u], vecs[u], pkgs[v], vecs[v]); err != nil {
+						return false
+					}
+					edges = append(edges, edge{u, v})
+				}
+			}
+		}
+		// Closure before.
+		reach := func() [][]bool {
+			m := make([][]bool, n)
+			adj := make([][]bool, n)
+			for i := range m {
+				m[i] = make([]bool, n)
+				adj[i] = make([]bool, n)
+			}
+			for _, c := range g.Constraints(false) {
+				adj[c.Winner.IDs[0]][c.Loser.IDs[0]] = true
+			}
+			for k := 0; k < n; k++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if adj[i][j] || (i == j) {
+							m[i][j] = true
+						}
+					}
+				}
+			}
+			// Warshall.
+			for k := 0; k < n; k++ {
+				for i := 0; i < n; i++ {
+					if m[i][k] {
+						for j := 0; j < n; j++ {
+							if m[k][j] {
+								m[i][j] = true
+							}
+						}
+					}
+				}
+			}
+			return m
+		}
+		before := reach()
+		g.Reduce()
+		after := reach()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if before[i][j] != after[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddClick(t *testing.T) {
+	g := New()
+	chosen := pkgspace.New(0)
+	shown := []pkgspace.Package{pkgspace.New(0), pkgspace.New(1), pkgspace.New(2)}
+	vecs := [][]float64{vec(3.0), vec(2.0), vec(1.0)}
+	added, cycles := g.AddClick(chosen, vecs[0], shown, vecs)
+	if added != 2 || cycles != 0 {
+		t.Errorf("AddClick = (%d, %d), want (2, 0)", added, cycles)
+	}
+	// A click on 1 over {0} now contradicts 0 ≻ 1.
+	added, cycles = g.AddClick(shown[1], vecs[1], shown[:1], vecs[:1])
+	if added != 0 || cycles != 1 {
+		t.Errorf("contradicting AddClick = (%d, %d), want (0, 1)", added, cycles)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := New()
+	a, b, c := pkgspace.New(0), pkgspace.New(1), pkgspace.New(2)
+	va, vb, vc := vec(3.0), vec(2.0), vec(1.0)
+	if err := g.AddPreference(a, va, b, vb); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPreference(b, vb, c, vc); err != nil {
+		t.Fatal(err)
+	}
+	order := g.TopologicalOrder()
+	if len(order) != 3 {
+		t.Fatalf("order len = %d", len(order))
+	}
+	pos := map[string]int{}
+	for i, p := range order {
+		pos[p.Signature()] = i
+	}
+	if pos["0"] > pos["1"] || pos["1"] > pos["2"] {
+		t.Errorf("not topological: %v", order)
+	}
+}
+
+// Property: constraints derived from a preference are satisfied by any
+// weight vector that scores the winner at least as high as the loser.
+func TestConstraintConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(5)
+		wv := make([]float64, d)
+		lv := make([]float64, d)
+		w := make([]float64, d)
+		for i := 0; i < d; i++ {
+			wv[i] = r.Float64()
+			lv[i] = r.Float64()
+			w[i] = r.Float64()*2 - 1
+		}
+		g := New()
+		if err := g.AddPreference(pkgspace.New(0), wv, pkgspace.New(1), lv); err != nil {
+			return false
+		}
+		c := g.Constraints(false)[0]
+		dotW, dotL := 0.0, 0.0
+		for i := 0; i < d; i++ {
+			dotW += w[i] * wv[i]
+			dotL += w[i] * lv[i]
+		}
+		return c.Violates(w) == (dotW < dotL)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,660 @@
+// Package search implements Top-k-Pkg (paper §4, Algorithms 2–4): finding
+// the top-k packages of flexible size ≤ φ for a fixed weight vector,
+// without enumerating the exponential package space. Items are consumed
+// from per-dimension sorted lists in round-robin order; packages are grown
+// incrementally in two queues (expandable Q+ and closed Q−); and the search
+// stops as soon as the best utility still reachable (ηup, from the
+// upper-exp bound of Algorithm 3) cannot beat the current k-th best (ηlo).
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"toppkg/internal/feature"
+	"toppkg/internal/pkgspace"
+)
+
+// Options configures one Top-k-Pkg run.
+type Options struct {
+	// K is the number of packages to return.
+	K int
+	// ExpandAll disables Algorithm 4's line-3 pruning (only grow a package
+	// with an item that strictly improves it). The paper's pruning is a
+	// heuristic for profiles with non-monotone marginals (avg, min): a
+	// discarded equal-utility subpackage can block a strictly better
+	// superset. ExpandAll restores exactness at extra cost; see DESIGN.md.
+	ExpandAll bool
+	// DisableBoundPrune keeps packages in Q+ even when their upper bound
+	// cannot beat the current k-th best. The pruning (sound, and implied by
+	// the paper's ηup/ηlo machinery) is on by default; disabling it exists
+	// for the ablation benchmarks.
+	DisableBoundPrune bool
+	// MaxQueue caps the expandable queue Q+. The paper's algorithm keeps
+	// every improvable package, which can grow combinatorially before the
+	// boundary bound tightens; capping turns the search into a beam over
+	// the highest-upper-bound packages. 0 selects DefaultMaxQueue; a
+	// negative value removes the cap (exact, possibly exponential). When
+	// the cap drops packages, Result.Truncated is set and results are
+	// best-effort.
+	MaxQueue int
+	// MaxAccessed bounds how many distinct items the search draws from the
+	// sorted lists (0 = unlimited). The boundary bound can take thousands
+	// of accesses to close on conflicting profiles even though the actual
+	// top packages were found within the first dozens of items (the §4
+	// intuition); a depth budget trades that certification for speed.
+	// When the budget stops the search early, Result.Truncated is set.
+	MaxAccessed int
+	// Candidate, when non-nil, filters which packages may enter the result
+	// (the schema predicates of §7). Packages failing it are still expanded,
+	// since predicates such as "at least two novels" are not anti-monotone.
+	Candidate pkgspace.Predicate
+	// Expand, when non-nil, prunes package growth: a package failing it is
+	// neither kept nor grown. Use only for anti-monotone predicates (e.g.
+	// MaxCount), otherwise results may be incomplete.
+	Expand pkgspace.Predicate
+}
+
+// DefaultMaxQueue is the Q+ cap applied when Options.MaxQueue is zero.
+// Exhaustive runs (tests against the brute-force oracle) should pass
+// MaxQueue: -1.
+const DefaultMaxQueue = 512
+
+// Result is the outcome of a Top-k-Pkg run, with the work counters the
+// experiments report.
+type Result struct {
+	// Packages holds the top-k in descending utility (ties by the
+	// deterministic package order).
+	Packages []pkgspace.Scored
+	// Accessed is the number of distinct items drawn from the sorted lists.
+	Accessed int
+	// Created is the number of candidate packages materialized.
+	Created int
+	// Truncated reports that MaxQueue forced dropping expandable packages.
+	Truncated bool
+}
+
+// Index holds the per-entry sorted item lists for a space, so that repeated
+// Top-k-Pkg runs (one per weight-vector sample, §4) share the O(n log n)
+// sort work. Lists exclude items that are null on the entry's feature; a
+// separate orphan list holds items null on every profile feature so they
+// are still reachable.
+type Index struct {
+	space *feature.Space
+	// asc[d] lists item ids ascending by the feature of profile entry d.
+	asc [][]int32
+	// orphans are items with null on every entry's feature.
+	orphans []int32
+	// seenPool recycles the per-run accessed bitmap (its zeroing dominates
+	// allocation cost when thousands of per-sample searches share an index).
+	seenPool sync.Pool
+}
+
+// NewIndex sorts the items of sp once per profile entry.
+func NewIndex(sp *feature.Space) *Index {
+	dims := sp.Dims()
+	ix := &Index{space: sp, asc: make([][]int32, dims)}
+	inSome := make([]bool, len(sp.Items))
+	for d := 0; d < dims; d++ {
+		e := sp.Profile.Entry(d)
+		if e.Agg == feature.AggNull {
+			continue
+		}
+		var ids []int32
+		for i := range sp.Items {
+			if !feature.IsNull(sp.Items[i].Values[e.Feature]) {
+				ids = append(ids, int32(i))
+				inSome[i] = true
+			}
+		}
+		f := e.Feature
+		sort.Slice(ids, func(a, b int) bool {
+			va := sp.Items[ids[a]].Values[f]
+			vb := sp.Items[ids[b]].Values[f]
+			if va != vb {
+				return va < vb
+			}
+			return ids[a] < ids[b]
+		})
+		ix.asc[d] = ids
+	}
+	for i := range sp.Items {
+		if !inSome[i] {
+			ix.orphans = append(ix.orphans, int32(i))
+		}
+	}
+	return ix
+}
+
+// Space returns the space the index was built over.
+func (ix *Index) Space() *feature.Space { return ix.space }
+
+// pkg is a package under construction: its member ids, aggregate state and
+// cached utility.
+type pkg struct {
+	ids   []int
+	state *feature.State
+	util  float64
+	// bound is the upper-exp extension bound as of boundRound. The boundary
+	// vector τ only worsens over time, so a stale bound remains a sound
+	// upper bound; it is refreshed lazily (every boundRefresh rounds).
+	bound      float64
+	boundRound int
+}
+
+// boundRefresh is how many accessed items may pass before a queued
+// package's extension bound is recomputed against the current τ.
+const boundRefresh = 16
+
+func (p *pkg) toPackage() pkgspace.Package {
+	ids := append([]int(nil), p.ids...)
+	sort.Ints(ids)
+	return pkgspace.Package{IDs: ids}
+}
+
+// run carries the mutable state of one Top-k-Pkg execution.
+type run struct {
+	ix   *Index
+	u    *feature.Utility
+	opts Options
+
+	// Active list cursors: entry dim, position, boundary value, direction.
+	lists []listCursor
+
+	qPlus []*pkg
+	cands *candHeap
+
+	accessedSeen []bool
+	accessedIDs  []int32
+	accessed     int
+	created      int
+	truncated    bool
+	maxQueue     int
+	round        int
+
+	// hasList[d] reports whether profile entry d has an active cursor.
+	hasList []bool
+
+	// Reusable scratch buffers for the hot expansion path. scratch backs
+	// upperExp's padding; scratchGrow holds tentative grown states (the two
+	// must stay distinct — upperExp copies its argument into scratch).
+	scratch     *feature.State
+	scratchGrow *feature.State
+	contribs    []feature.Contrib
+}
+
+type listCursor struct {
+	dim  int  // profile entry index
+	feat int  // underlying item feature
+	desc bool // true: traverse descending (weight > 0)
+	pos  int  // entries consumed
+	ids  []int32
+	tau  float64 // value of the last accessed item (best possible unseen)
+	done bool
+}
+
+// TopK runs Top-k-Pkg for utility u over the indexed space.
+func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
+	if opts.K <= 0 {
+		return Result{}, fmt.Errorf("search: K must be positive, got %d", opts.K)
+	}
+	if len(u.W) != ix.space.Dims() {
+		return Result{}, fmt.Errorf("search: utility has %d dims, space has %d", len(u.W), ix.space.Dims())
+	}
+	seen, _ := ix.seenPool.Get().([]bool)
+	if seen == nil {
+		seen = make([]bool, len(ix.space.Items))
+	}
+	r := &run{
+		ix:           ix,
+		u:            u,
+		opts:         opts,
+		cands:        &candHeap{k: opts.K},
+		accessedSeen: seen,
+		maxQueue:     opts.MaxQueue,
+		scratch:      feature.NewState(ix.space),
+		scratchGrow:  feature.NewState(ix.space),
+		contribs:     make([]feature.Contrib, ix.space.Dims()),
+	}
+	if r.maxQueue == 0 {
+		r.maxQueue = DefaultMaxQueue
+	}
+	defer func() {
+		// Reset only the entries this run touched, then recycle the bitmap.
+		for _, id := range r.accessedIDs {
+			r.accessedSeen[id] = false
+		}
+		ix.seenPool.Put(r.accessedSeen)
+	}()
+	// Build the active list cursors (Algorithm 2 line 2): one per entry
+	// with non-zero weight, traversed from the desirable end.
+	for d := 0; d < ix.space.Dims(); d++ {
+		e := ix.space.Profile.Entry(d)
+		if u.W[d] == 0 || e.Agg == feature.AggNull || len(ix.asc[d]) == 0 {
+			continue
+		}
+		lc := listCursor{dim: d, feat: e.Feature, desc: u.W[d] > 0, ids: ix.asc[d]}
+		// Initialize τ to the best value in the list: unseen items can never
+		// beat the top of the list.
+		if lc.desc {
+			lc.tau = ix.space.Items[lc.ids[len(lc.ids)-1]].Values[lc.feat]
+		} else {
+			lc.tau = ix.space.Items[lc.ids[0]].Values[lc.feat]
+		}
+		r.lists = append(r.lists, lc)
+	}
+	if len(r.lists) == 0 {
+		return r.degenerate(), nil
+	}
+	r.hasList = make([]bool, ix.space.Dims())
+	for li := range r.lists {
+		r.hasList[r.lists[li].dim] = true
+	}
+
+	empty := &pkg{state: feature.NewState(ix.space), util: 0}
+	empty.bound = r.upperExp(empty.state)
+	r.qPlus = append(r.qPlus, empty)
+
+	rr := 0
+	for {
+		// Draw the next item in round-robin order (Algorithm 2 lines 4–6).
+		item, ok := r.nextItem(&rr)
+		if !ok {
+			break
+		}
+		if !r.accessedSeen[item] {
+			r.accessedSeen[item] = true
+			r.accessedIDs = append(r.accessedIDs, item)
+			r.accessed++
+			etaLo, etaUp := r.expand(int(item))
+			if etaUp <= etaLo || len(r.qPlus) == 0 {
+				break
+			}
+			if opts.MaxAccessed > 0 && r.accessed >= opts.MaxAccessed {
+				r.truncated = true
+				break
+			}
+		}
+	}
+	// Drain orphans (items null on every active feature): they can only
+	// matter through size effects (avg denominators), so only in ExpandAll
+	// mode can they change results; access them for completeness.
+	if len(r.qPlus) > 0 {
+		for _, o := range r.ix.orphans {
+			if !r.accessedSeen[o] {
+				r.accessedSeen[o] = true
+				r.accessedIDs = append(r.accessedIDs, o)
+				r.accessed++
+				etaLo, etaUp := r.expand(int(o))
+				if etaUp <= etaLo || len(r.qPlus) == 0 {
+					break
+				}
+			}
+		}
+	}
+
+	return Result{
+		Packages:  r.cands.sorted(),
+		Accessed:  r.accessed,
+		Created:   r.created,
+		Truncated: r.truncated,
+	}, nil
+}
+
+// nextItem performs one sorted access in round-robin fashion, updating the
+// boundary value of the list it draws from. ok is false when every list is
+// exhausted.
+func (r *run) nextItem(rr *int) (int32, bool) {
+	n := len(r.lists)
+	for tries := 0; tries < n; tries++ {
+		lc := &r.lists[*rr]
+		*rr = (*rr + 1) % n
+		if lc.done {
+			continue
+		}
+		var id int32
+		if lc.desc {
+			id = lc.ids[len(lc.ids)-1-lc.pos]
+		} else {
+			id = lc.ids[lc.pos]
+		}
+		lc.pos++
+		lc.tau = r.ix.space.Items[id].Values[lc.feat]
+		if lc.pos >= len(lc.ids) {
+			lc.done = true
+		}
+		return id, true
+	}
+	return 0, false
+}
+
+// expand implements Algorithm 4 for the newly accessed item, returning the
+// updated (ηlo, ηup) thresholds.
+//
+// Two deliberate corrections to the paper's pseudo-code (see DESIGN.md):
+//
+//  1. The empty package always expands and is never dropped by the
+//     improvement test. The paper's line 3 (grow only on strict
+//     improvement) silently returns nothing when all achievable utilities
+//     are negative (e.g. all-negative weights), since no singleton improves
+//     on U(∅) = 0; packages must be non-empty, so ∅ is a seed, not a
+//     candidate.
+//  2. "Can p still improve" uses the running-max multi-pad bound
+//     (upperExp) rather than a single τ-pad. The paper's single-pad test
+//     relies on Lemma 3 (non-increasing pad marginals), which fails for
+//     avg: marginals increase toward zero as the average converges to τ,
+//     so one pad can lose while two pads win when another dimension
+//     compensates.
+func (r *run) expand(item int) (etaLo, etaUp float64) {
+	it := r.ix.space.Items[item]
+	phi := r.ix.space.MaxSize
+	etaUp = negInf
+	etaLo = r.cands.kthUtility()
+	prune := !r.opts.DisableBoundPrune && r.cands.full()
+
+	r.round++
+	survivors := r.qPlus[:0]
+	newcomers := []*pkg(nil)
+	for _, p := range r.qPlus {
+		// Refresh the extension bound lazily; a stale bound is still an
+		// upper bound, so pruning on it stays sound.
+		if r.round-p.boundRound >= boundRefresh {
+			p.bound = r.upperExp(p.state)
+			p.boundRound = r.round
+		}
+		if prune && p.bound <= etaLo {
+			// Neither p's extensions nor their candidacies can beat the
+			// current k-th best: drop p without expanding it.
+			continue
+		}
+		if p.state.Size < phi {
+			// Utility after adding the item, computed without cloning the
+			// aggregate state (the common case is rejection).
+			gu := r.scoreAfterAdd(p.state, it)
+			// Line 3: the paper grows a package only when the new item
+			// strictly improves it; ExpandAll disables that heuristic, and
+			// the empty package always grows (correction 1).
+			if r.opts.ExpandAll || p.state.Size == 0 || gu > p.util {
+				// Materialize the child only if it can matter — as a
+				// candidate (gu above the bar) or as an ancestor of one
+				// (extension bound above the bar, checked on scratch).
+				worth := !prune || gu > etaLo
+				if !worth {
+					r.scratchGrow.CopyFrom(p.state)
+					r.scratchGrow.Add(it)
+					worth = r.upperExp(r.scratchGrow) > etaLo
+				}
+				if worth {
+					grown := p.state.Clone()
+					grown.Add(it)
+					np := &pkg{ids: append(append([]int(nil), p.ids...), item), state: grown, util: gu}
+					if r.opts.Expand == nil || r.opts.Expand(r.ix.space, np.toPackage()) {
+						r.created++
+						r.offer(np)
+						if r.cands.full() {
+							etaLo = r.cands.kthUtility()
+							prune = !r.opts.DisableBoundPrune
+						}
+						// Lines 5–8: keep the new package expandable while
+						// its extensions can still matter.
+						np.bound = r.upperExp(np.state)
+						np.boundRound = r.round
+						if r.keep(np, etaLo, prune) {
+							if np.bound > etaUp {
+								etaUp = np.bound
+							}
+							newcomers = append(newcomers, np)
+						}
+					}
+				}
+			}
+		}
+		// Lines 9–11: re-check p itself against the (possibly stale)
+		// boundary bound.
+		if r.keep(p, etaLo, prune) {
+			if p.bound > etaUp {
+				etaUp = p.bound
+			}
+			survivors = append(survivors, p)
+		}
+		// Otherwise p moves to Q−: it was already offered as a candidate
+		// when created, so it is simply dropped from the expandable queue.
+	}
+	r.qPlus = append(survivors, newcomers...)
+
+	if r.maxQueue > 0 && len(r.qPlus) > r.maxQueue {
+		sort.Slice(r.qPlus, func(i, j int) bool { return r.qPlus[i].bound > r.qPlus[j].bound })
+		r.qPlus = r.qPlus[:r.maxQueue]
+		r.truncated = true
+	}
+	return etaLo, etaUp
+}
+
+// scoreAfterAdd returns U(p ∪ {t}) from p's aggregate state in O(dims)
+// without materializing the grown state.
+func (r *run) scoreAfterAdd(st *feature.State, it feature.Item) float64 {
+	sp := r.ix.space
+	util := 0.0
+	for d := 0; d < sp.Dims(); d++ {
+		w := r.u.W[d]
+		if w == 0 {
+			continue
+		}
+		e := sp.Profile.Entry(d)
+		c := feature.Contrib{Skip: true}
+		if e.Agg != feature.AggNull {
+			if v := it.Values[e.Feature]; !feature.IsNull(v) {
+				c = feature.Contrib{Value: v}
+			}
+		}
+		util += w * st.AggregateAfter(d, c) / sp.Norm.Scale(d)
+	}
+	return util
+}
+
+// keep decides whether a package stays in Q+ given its refreshed extension
+// bound. In ExpandAll (exact) mode retention is purely bound-based; in the
+// paper's mode a package additionally leaves Q+ once no extension can
+// improve on its own utility (the paper's line-9 semantics, which trades
+// top-k completeness for a smaller queue). The empty package is exempt from
+// the improvement test (correction 1 above).
+func (r *run) keep(p *pkg, etaLo float64, prune bool) bool {
+	if p.state.Size >= r.ix.space.MaxSize || math.IsInf(p.bound, -1) {
+		return false
+	}
+	if prune && p.bound <= etaLo {
+		return false
+	}
+	if !r.opts.ExpandAll && p.state.Size > 0 && p.bound <= p.util {
+		return false
+	}
+	return true
+}
+
+// offer proposes a completed package as a result candidate. The utility
+// pre-check avoids materializing the sorted id slice for the (common)
+// packages that cannot enter the heap.
+func (r *run) offer(p *pkg) {
+	if r.cands.full() && p.util < r.cands.kthUtility() {
+		return
+	}
+	cand := p.toPackage()
+	if r.opts.Candidate != nil && !r.opts.Candidate(r.ix.space, cand) {
+		return
+	}
+	r.cands.offer(pkgspace.Scored{Pkg: cand, Utility: p.util})
+}
+
+// padBest chooses, per profile entry, the imaginary contribution that
+// maximizes utility — the boundary value τ of the entry's list, or a null
+// contribution when attainable (list exhausted, or the dataset has nulls on
+// that feature) — filling r.contribs in place and returning the utility of
+// the package extended by that imaginary item. This generalizes the
+// τ-padding of Algorithm 3 to nulls and negative weights; see DESIGN.md.
+func (r *run) padBest(st *feature.State) ([]feature.Contrib, float64) {
+	sp := r.ix.space
+	contribs := r.contribs
+	for d := range contribs {
+		contribs[d] = feature.Contrib{Skip: true}
+	}
+	util := 0.0
+	// Entries without an active list (zero weight handled below; null agg
+	// or all-null feature) contribute their skip aggregate.
+	for d := 0; d < sp.Dims(); d++ {
+		w := r.u.W[d]
+		if w == 0 || r.hasList[d] {
+			continue
+		}
+		util += w * st.AggregateAfter(d, feature.Contrib{Skip: true}) / sp.Norm.Scale(d)
+	}
+	for li := range r.lists {
+		lc := &r.lists[li]
+		d := lc.dim
+		w := r.u.W[d]
+		scale := sp.Norm.Scale(d)
+		var best feature.Contrib
+		var bestVal float64
+		haveBest := false
+		if !lc.done {
+			c := feature.Contrib{Value: lc.tau}
+			v := w * st.AggregateAfter(d, c) / scale
+			best, bestVal, haveBest = c, v, true
+		}
+		if lc.done || sp.HasNull(lc.feat) {
+			c := feature.Contrib{Skip: true}
+			v := w * st.AggregateAfter(d, c) / scale
+			if !haveBest || v > bestVal {
+				best, bestVal = c, v
+			}
+		}
+		contribs[d] = best
+		util += bestVal
+	}
+	return contribs, util
+}
+
+// upperExp is Algorithm 3 with a sound stopping rule: the maximum utility
+// any proper extension of the package can reach, obtained by padding with
+// the per-entry best imaginary contribution up to the size cap and taking
+// the running maximum over pad counts 1..φ−|p|. (The paper stops greedily
+// at the first non-improving pad, justified by Lemma 3's non-increasing
+// marginals; that lemma fails for avg — marginals increase toward zero as
+// the average converges to τ — so the greedy stop can underestimate. The
+// running maximum costs the same O(φ·d) and is always an upper bound.)
+// Returns -Inf when the package is already at the size cap.
+func (r *run) upperExp(st *feature.State) float64 {
+	phi := r.ix.space.MaxSize
+	if st.Size >= phi {
+		return negInf
+	}
+	best := negInf
+	s := r.scratch
+	s.CopyFrom(st)
+	for s.Size < phi {
+		contribs, after := r.padBest(s)
+		if after > best {
+			best = after
+		}
+		s.AddContrib(contribs)
+	}
+	return best
+}
+
+// degenerate handles the all-zero-weight utility: every package scores 0,
+// so return the K first packages in the deterministic tie-break order.
+func (r *run) degenerate() Result {
+	res := Result{}
+	count := 0
+	pkgspaceEnumerate(r.ix.space, func(p pkgspace.Package) bool {
+		if r.opts.Candidate != nil && !r.opts.Candidate(r.ix.space, p) {
+			return count < r.opts.K
+		}
+		res.Packages = append(res.Packages, pkgspace.Scored{Pkg: p, Utility: 0})
+		count++
+		return count < r.opts.K
+	})
+	res.Created = count
+	return res
+}
+
+// pkgspaceEnumerate enumerates packages in the deterministic order,
+// stopping when fn returns false.
+func pkgspaceEnumerate(s *feature.Space, fn func(pkgspace.Package) bool) {
+	n := len(s.Items)
+	ids := make([]int, 0, s.MaxSize)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		for i := start; i < n; i++ {
+			ids = append(ids, i)
+			if !fn(pkgspace.Package{IDs: append([]int(nil), ids...)}) {
+				return false
+			}
+			if len(ids) < s.MaxSize {
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			ids = ids[:len(ids)-1]
+		}
+		return true
+	}
+	rec(0)
+}
+
+var negInf = math.Inf(-1)
+
+// candHeap keeps the best k scored packages: a min-heap ordered by utility
+// ascending, ties keeping the smaller package (evicting the larger).
+type candHeap struct {
+	k  int
+	xs []pkgspace.Scored
+}
+
+func (h *candHeap) Len() int { return len(h.xs) }
+func (h *candHeap) Less(i, j int) bool {
+	if h.xs[i].Utility != h.xs[j].Utility {
+		return h.xs[i].Utility < h.xs[j].Utility
+	}
+	return pkgspace.Less(h.xs[j].Pkg, h.xs[i].Pkg)
+}
+func (h *candHeap) Swap(i, j int) { h.xs[i], h.xs[j] = h.xs[j], h.xs[i] }
+func (h *candHeap) Push(x any)    { h.xs = append(h.xs, x.(pkgspace.Scored)) }
+func (h *candHeap) Pop() any {
+	n := len(h.xs) - 1
+	v := h.xs[n]
+	h.xs = h.xs[:n]
+	return v
+}
+
+func (h *candHeap) full() bool { return len(h.xs) >= h.k }
+
+// kthUtility returns ηlo: the k-th best utility so far, or -Inf while fewer
+// than k candidates exist.
+func (h *candHeap) kthUtility() float64 {
+	if !h.full() {
+		return negInf
+	}
+	return h.xs[0].Utility
+}
+
+func (h *candHeap) offer(s pkgspace.Scored) {
+	if len(h.xs) < h.k {
+		heap.Push(h, s)
+		return
+	}
+	root := &h.xs[0]
+	if s.Utility > root.Utility || (s.Utility == root.Utility && pkgspace.Less(s.Pkg, root.Pkg)) {
+		h.xs[0] = s
+		heap.Fix(h, 0)
+	}
+}
+
+// sorted drains the heap into descending-utility order.
+func (h *candHeap) sorted() []pkgspace.Scored {
+	out := append([]pkgspace.Scored(nil), h.xs...)
+	pkgspace.SortScored(out)
+	return out
+}

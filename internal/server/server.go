@@ -1,0 +1,199 @@
+// Package server exposes the package recommender over HTTP/JSON — the
+// deployment surface the paper envisions (§1: recommendations shown at
+// login, clicks logged as implicit feedback, no explicit elicitation
+// queries). A single engine serves one user session; the handler
+// serializes access, since the engine itself is single-threaded.
+//
+// Endpoints:
+//
+//	GET  /recommend           → {"recommended": [...], "random": [...]}
+//	POST /click               ← {"chosen": [ids], "shown": [[ids], ...]}
+//	POST /feedback            ← {"winner": [ids], "loser": [ids]}
+//	GET  /stats               → engine counters
+//	GET  /snapshot            → persisted session state (JSON)
+//	POST /snapshot            ← restores a previously saved session
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"toppkg/internal/core"
+	"toppkg/internal/pkgspace"
+	"toppkg/internal/prefgraph"
+)
+
+// Server wraps an engine with an HTTP handler.
+type Server struct {
+	mu  sync.Mutex
+	eng *core.Engine
+	mux *http.ServeMux
+}
+
+// New builds a server around an engine. The engine must not be used
+// concurrently outside the server afterwards.
+func New(eng *core.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /click", s.handleClick)
+	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotPost)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// PackageJSON is the wire form of one package.
+type PackageJSON struct {
+	Items []int    `json:"items"`
+	Names []string `json:"names,omitempty"`
+	Score float64  `json:"score,omitempty"`
+}
+
+// SlateJSON is the wire form of a recommendation slate.
+type SlateJSON struct {
+	Recommended []PackageJSON `json:"recommended"`
+	Random      []PackageJSON `json:"random"`
+}
+
+func (s *Server) pkgJSON(p pkgspace.Package, score float64) PackageJSON {
+	names := make([]string, len(p.IDs))
+	for i, id := range p.IDs {
+		names[i] = s.eng.Space().Items[id].Name
+	}
+	return PackageJSON{Items: append([]int(nil), p.IDs...), Names: names, Score: score}
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	slate, err := s.eng.Recommend()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := SlateJSON{}
+	for _, rec := range slate.Recommended {
+		out.Recommended = append(out.Recommended, s.pkgJSON(rec.Pkg, rec.Score))
+	}
+	for _, p := range slate.Random {
+		out.Random = append(out.Random, s.pkgJSON(p, 0))
+	}
+	writeJSON(w, out)
+}
+
+// ClickRequest is the wire form of implicit click feedback.
+type ClickRequest struct {
+	Chosen []int   `json:"chosen"`
+	Shown  [][]int `json:"shown"`
+}
+
+func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
+	var req ClickRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Chosen) == 0 || len(req.Shown) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("chosen and shown are required"))
+		return
+	}
+	chosen := pkgspace.New(req.Chosen...)
+	shown := make([]pkgspace.Package, len(req.Shown))
+	for i, ids := range req.Shown {
+		shown[i] = pkgspace.New(ids...)
+	}
+	s.mu.Lock()
+	err := s.eng.Click(chosen, shown)
+	st := s.eng.Stats()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// FeedbackRequest is the wire form of one explicit pairwise preference.
+type FeedbackRequest struct {
+	Winner []int `json:"winner"`
+	Loser  []int `json:"loser"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err := s.eng.Feedback(pkgspace.New(req.Winner...), pkgspace.New(req.Loser...))
+	st := s.eng.Stats()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.eng.Stats()
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	s.mu.Unlock()
+	writeJSON(w, snap)
+}
+
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	var snap core.Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err := s.eng.Restore(&snap)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// statusFor maps engine errors to HTTP statuses: contradictory feedback is
+// the client's inconsistency (409), everything else is internal.
+func statusFor(err error) int {
+	if errors.Is(err, prefgraph.ErrCycle) {
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprint(err)})
+}

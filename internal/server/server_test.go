@@ -1,0 +1,236 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"toppkg/internal/core"
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(300))
+	eng, err := core.New(core.Config{
+		Items:          dataset.UNI(40, 2, rng),
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 3,
+		K:              3,
+		RandomCount:    2,
+		SampleCount:    80,
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response of %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var slate SlateJSON
+	resp := getJSON(t, ts.URL+"/recommend", &slate)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(slate.Recommended) != 3 || len(slate.Random) != 2 {
+		t.Fatalf("slate shape: %d recommended, %d random", len(slate.Recommended), len(slate.Random))
+	}
+	for _, p := range slate.Recommended {
+		if len(p.Items) == 0 || len(p.Names) != len(p.Items) {
+			t.Errorf("bad package payload: %+v", p)
+		}
+	}
+}
+
+func TestClickFlow(t *testing.T) {
+	_, ts := testServer(t)
+	var slate SlateJSON
+	getJSON(t, ts.URL+"/recommend", &slate)
+
+	shown := make([][]int, 0, len(slate.Recommended)+len(slate.Random))
+	for _, p := range slate.Recommended {
+		shown = append(shown, p.Items)
+	}
+	for _, p := range slate.Random {
+		shown = append(shown, p.Items)
+	}
+	var st core.Stats
+	resp := postJSON(t, ts.URL+"/click", ClickRequest{Chosen: shown[1], Shown: shown}, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("click status %d", resp.StatusCode)
+	}
+	if st.Feedback == 0 {
+		t.Error("click produced no feedback")
+	}
+	// The next recommendation must still work.
+	resp = getJSON(t, ts.URL+"/recommend", &slate)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-click recommend status %d", resp.StatusCode)
+	}
+}
+
+func TestFeedbackEndpointAndConflict(t *testing.T) {
+	_, ts := testServer(t)
+	var st core.Stats
+	resp := postJSON(t, ts.URL+"/feedback", FeedbackRequest{Winner: []int{0, 1}, Loser: []int{2}}, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status %d", resp.StatusCode)
+	}
+	if st.Feedback != 1 {
+		t.Errorf("Feedback = %d", st.Feedback)
+	}
+	// The exact reverse preference contradicts: 409.
+	resp = postJSON(t, ts.URL+"/feedback", FeedbackRequest{Winner: []int{2}, Loser: []int{0, 1}}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("contradiction status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestClickValidation(t *testing.T) {
+	_, ts := testServer(t)
+	resp := postJSON(t, ts.URL+"/click", ClickRequest{}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty click status %d", resp.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/click", "application/json", bytes.NewReader([]byte("{bad")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage click status %d", r2.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var st core.Stats
+	resp := getJSON(t, ts.URL+"/stats", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+}
+
+func TestSnapshotRoundTripOverHTTP(t *testing.T) {
+	_, ts := testServer(t)
+	postJSON(t, ts.URL+"/feedback", FeedbackRequest{Winner: []int{0}, Loser: []int{1}}, nil)
+	getJSON(t, ts.URL+"/recommend", nil) // force sampling
+
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap core.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(snap.Preferences) != 1 || len(snap.Samples) == 0 {
+		t.Fatalf("snapshot content: %d prefs, %d samples", len(snap.Preferences), len(snap.Samples))
+	}
+
+	// Restore into a fresh server.
+	_, ts2 := testServer(t)
+	r2 := postJSON(t, ts2.URL+"/snapshot", snap, nil)
+	if r2.StatusCode != http.StatusNoContent {
+		t.Fatalf("restore status %d", r2.StatusCode)
+	}
+	var st core.Stats
+	getJSON(t, ts2.URL+"/stats", &st)
+	if st.Feedback != 1 {
+		t.Errorf("restored Feedback = %d", st.Feedback)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/recommend", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /recommend status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentRequests exercises the mutex: hammer the server from
+// several goroutines; run with -race.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t)
+	getJSON(t, ts.URL+"/recommend", nil)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			var err error
+			defer func() { done <- err }()
+			for j := 0; j < 5; j++ {
+				switch (i + j) % 3 {
+				case 0:
+					_, err = http.Get(ts.URL + "/recommend")
+				case 1:
+					_, err = http.Get(ts.URL + "/stats")
+				default:
+					b, _ := json.Marshal(FeedbackRequest{
+						Winner: []int{i % 10, 10 + j},
+						Loser:  []int{20 + (i+j)%10},
+					})
+					_, err = http.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(b))
+				}
+				if err != nil {
+					err = fmt.Errorf("worker %d op %d: %w", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"toppkg/internal/core"
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/pkgspace"
+)
+
+func engine(t *testing.T, seed int64) *core.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(50))
+	e, err := core.New(core.Config{
+		Items:          dataset.UNI(40, 3, rng),
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg, feature.AggMax),
+		MaxPackageSize: 3,
+		K:              3,
+		RandomCount:    3,
+		SampleCount:    150,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewRandomUserWeightsInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := feature.SimpleProfile(feature.AggSum, feature.AggAvg)
+	for i := 0; i < 50; i++ {
+		u := NewRandomUser(p, rng)
+		for _, w := range u.U.W {
+			if w < -1 || w > 1 {
+				t.Fatalf("weight %g outside [-1,1]", w)
+			}
+		}
+	}
+}
+
+func TestChoosePicksTrueMaximizer(t *testing.T) {
+	e := engine(t, 3)
+	rng := rand.New(rand.NewSource(2))
+	u := NewRandomUser(e.Space().Profile, rng)
+	slate := []pkgspace.Package{
+		pkgspace.New(0), pkgspace.New(1), pkgspace.New(0, 1), pkgspace.New(2, 3),
+	}
+	pick := u.Choose(e.Space(), slate, rng)
+	best := pick
+	bestU := u.U.Score(pkgspace.Vector(e.Space(), slate[pick]))
+	for i := range slate {
+		if s := u.U.Score(pkgspace.Vector(e.Space(), slate[i])); s > bestU {
+			best, bestU = i, s
+		}
+	}
+	if pick != best {
+		t.Errorf("Choose picked %d, true best is %d", pick, best)
+	}
+}
+
+func TestChooseEmptySlate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := feature.SimpleProfile(feature.AggSum)
+	u := NewRandomUser(p, rng)
+	if got := u.Choose(nil, nil, rng); got != -1 {
+		t.Errorf("empty slate pick = %d, want -1", got)
+	}
+}
+
+func TestNoisyChooseDeviates(t *testing.T) {
+	e := engine(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	u := NewRandomUser(e.Space().Profile, rng)
+	u.NoiseEps = 1 // always random
+	slate := []pkgspace.Package{pkgspace.New(0), pkgspace.New(1), pkgspace.New(2)}
+	counts := map[int]int{}
+	for i := 0; i < 300; i++ {
+		counts[u.Choose(e.Space(), slate, rng)]++
+	}
+	if len(counts) < 2 {
+		t.Error("fully noisy user always picked the same package")
+	}
+}
+
+// TestSessionConverges: the headline behaviour of §5.6 — a handful of
+// clicks suffices for the recommendation list to stabilize.
+func TestSessionConverges(t *testing.T) {
+	e := engine(t, 6)
+	rng := rand.New(rand.NewSource(7))
+	u := NewRandomUser(e.Space().Profile, rng)
+	res, err := RunSession(e, u, SessionConfig{MaxRounds: 25, StableRounds: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("session did not converge in 25 rounds (%d clicks)", res.Clicks)
+	}
+	if res.Clicks == 0 {
+		t.Error("converged with zero clicks; suspicious")
+	}
+	if len(res.FinalTop) == 0 {
+		t.Error("no final recommendation")
+	}
+}
+
+// TestSessionRecommendationQuality: after convergence the recommended top
+// package should be close in true utility to the true optimum.
+func TestSessionRecommendationQuality(t *testing.T) {
+	clicksTotal := 0
+	regressions := 0
+	for seed := int64(0); seed < 3; seed++ {
+		e := engine(t, 20+seed)
+		rng := rand.New(rand.NewSource(30 + seed))
+		u := NewRandomUser(e.Space().Profile, rng)
+		res, err := RunSession(e, u, SessionConfig{MaxRounds: 25}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clicksTotal += res.Clicks
+		if res.TrueTopUtility > 0 {
+			gap := res.TrueTopUtility - res.FinalTopUtility
+			if gap > 0.35*absf(res.TrueTopUtility)+0.05 {
+				regressions++
+				t.Logf("seed %d: true %g vs recommended %g", seed, res.TrueTopUtility, res.FinalTopUtility)
+			}
+		}
+	}
+	if regressions > 1 {
+		t.Errorf("%d of 3 sessions ended far from the optimum", regressions)
+	}
+	t.Logf("avg clicks to convergence: %.1f", float64(clicksTotal)/3)
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSessionMaxRoundsRespected(t *testing.T) {
+	e := engine(t, 8)
+	rng := rand.New(rand.NewSource(9))
+	u := NewRandomUser(e.Space().Profile, rng)
+	u.NoiseEps = 1 // pure noise: unlikely to converge
+	res, err := RunSession(e, u, SessionConfig{MaxRounds: 3, StableRounds: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clicks > 3 {
+		t.Errorf("clicks = %d exceeds MaxRounds", res.Clicks)
+	}
+}

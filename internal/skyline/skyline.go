@@ -1,0 +1,133 @@
+// Package skyline implements the skyline (Pareto-optimal set) operator over
+// items and packages. It is the baseline approach to package
+// recommendation the paper argues against (§1, [20, 29]): return every
+// package not dominated on all features. The experiments use it to
+// reproduce the motivating observation that skyline package sets are far
+// too large to present to a user.
+package skyline
+
+import (
+	"fmt"
+
+	"toppkg/internal/feature"
+	"toppkg/internal/pkgspace"
+)
+
+// Direction states whether larger (+1) or smaller (-1) values are preferred
+// on a dimension; 0 ignores the dimension.
+type Direction int8
+
+// Preference directions.
+const (
+	Ignore  Direction = 0
+	Larger  Direction = 1
+	Smaller Direction = -1
+)
+
+// Dominates reports whether vector a dominates vector b under the given
+// per-dimension directions: a is at least as good everywhere and strictly
+// better somewhere.
+func Dominates(a, b []float64, dirs []Direction) bool {
+	strict := false
+	for i, d := range dirs {
+		switch d {
+		case Larger:
+			if a[i] < b[i] {
+				return false
+			}
+			if a[i] > b[i] {
+				strict = true
+			}
+		case Smaller:
+			if a[i] > b[i] {
+				return false
+			}
+			if a[i] < b[i] {
+				strict = true
+			}
+		}
+	}
+	return strict
+}
+
+// Vectors computes the skyline of a set of vectors with a block
+// nested-loops algorithm [4], returning the indices of the skyline members
+// in ascending order.
+func Vectors(vecs [][]float64, dirs []Direction) []int {
+	var window []int
+	for i, v := range vecs {
+		dominated := false
+		for _, j := range window {
+			if Dominates(vecs[j], v, dirs) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		out := window[:0]
+		for _, j := range window {
+			if !Dominates(v, vecs[j], dirs) {
+				out = append(out, j)
+			}
+		}
+		window = append(out, i)
+	}
+	return window
+}
+
+// Items returns the skyline items of a space under the given directions on
+// the raw item features (nulls treated as worst).
+func Items(sp *feature.Space, dirs []Direction) []feature.Item {
+	vecs := make([][]float64, len(sp.Items))
+	for i := range sp.Items {
+		v := make([]float64, len(sp.Items[i].Values))
+		copy(v, sp.Items[i].Values)
+		for j := range v {
+			if feature.IsNull(v[j]) {
+				switch dirs[j] {
+				case Larger:
+					v[j] = 0
+				case Smaller:
+					v[j] = 1e18
+				}
+			}
+		}
+		vecs[i] = v
+	}
+	idx := Vectors(vecs, dirs)
+	out := make([]feature.Item, len(idx))
+	for i, j := range idx {
+		out[i] = sp.Items[j]
+	}
+	return out
+}
+
+// Packages enumerates every package of the space (size ≤ MaxSize) and
+// returns the skyline over normalized aggregate vectors. Exponential — it
+// exists to demonstrate, on small spaces, the paper's point that skyline
+// package sets are huge. maxEnumerate caps the enumeration (0 = no cap);
+// exceeding it returns an error.
+func Packages(sp *feature.Space, dirs []Direction, maxEnumerate int) ([]pkgspace.Package, error) {
+	if len(dirs) != sp.Dims() {
+		return nil, fmt.Errorf("skyline: %d directions for %d dims", len(dirs), sp.Dims())
+	}
+	if maxEnumerate > 0 {
+		if c := pkgspace.Count(sp.N(), sp.MaxSize); c > uint64(maxEnumerate) {
+			return nil, fmt.Errorf("skyline: package space has %d members, cap is %d", c, maxEnumerate)
+		}
+	}
+	var pkgs []pkgspace.Package
+	var vecs [][]float64
+	pkgspace.Enumerate(sp, func(p pkgspace.Package) {
+		pkgs = append(pkgs, p)
+		vecs = append(vecs, pkgspace.Vector(sp, p))
+	})
+	idx := Vectors(vecs, dirs)
+	out := make([]pkgspace.Package, len(idx))
+	for i, j := range idx {
+		out[i] = pkgs[j]
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+// Package topk implements threshold-algorithm (TA) style query processing
+// over an in-memory pool of vectors [13]. Given a query vector q, it
+// supports retrieving the vectors whose dot product with q exceeds zero
+// (the primitive behind sample maintenance, paper §3.4) and classic top-k
+// retrieval by score, both with early termination based on the boundary
+// (threshold) value of sorted access lists.
+package topk
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Pool is an immutable collection of equal-dimension vectors with
+// per-dimension sorted projections, enabling TA-style sorted access in
+// either direction.
+type Pool struct {
+	vecs [][]float64
+	asc  [][]int32 // asc[d] lists vector indices in ascending order of coordinate d
+	dims int
+}
+
+// NewPool builds the sorted projections for the given vectors. The slice is
+// retained (not copied); callers must not mutate it afterwards.
+func NewPool(vecs [][]float64) *Pool {
+	p := &Pool{vecs: vecs}
+	if len(vecs) == 0 {
+		return p
+	}
+	p.dims = len(vecs[0])
+	p.asc = make([][]int32, p.dims)
+	for d := 0; d < p.dims; d++ {
+		idx := make([]int32, len(vecs))
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return vecs[idx[a]][d] < vecs[idx[b]][d]
+		})
+		p.asc[d] = idx
+	}
+	return p
+}
+
+// Len returns the number of vectors in the pool.
+func (p *Pool) Len() int { return len(p.vecs) }
+
+// Dims returns the dimensionality of the pooled vectors.
+func (p *Pool) Dims() int { return p.dims }
+
+// Vec returns the i-th vector (not a copy).
+func (p *Pool) Vec(i int) []float64 { return p.vecs[i] }
+
+// Asc returns the vector indices sorted ascending by coordinate d (not a
+// copy). Iterate it backwards for descending order.
+func (p *Pool) Asc(d int) []int32 { return p.asc[d] }
+
+// Dot returns vecs[i] · q.
+func (p *Pool) Dot(i int, q []float64) float64 {
+	s := 0.0
+	for d, v := range p.vecs[i] {
+		s += v * q[d]
+	}
+	return s
+}
+
+// Scanner performs round-robin sorted access for a query vector q: each
+// active dimension d (q[d] != 0) is traversed from its best end (largest
+// coordinate first when q[d] > 0, smallest first otherwise), so the
+// boundary value τ·q always upper-bounds the score of every unseen vector.
+type Scanner struct {
+	pool     *Pool
+	q        []float64
+	dims     []int // active dimensions
+	pos      []int // per active dim, number of entries consumed
+	tau      []float64
+	cur      int // next active dim in round-robin order
+	accesses int
+	// Incrementally maintained threshold: thrSum = Σ τ_a·q over accessed
+	// dims; unseenDims counts dims without any access yet.
+	thrSum     float64
+	unseenDims int
+}
+
+// NewScanner prepares a scanner for query q over the pool. It returns nil
+// if q has no non-zero component or the pool is empty.
+func NewScanner(p *Pool, q []float64) *Scanner {
+	s := &Scanner{pool: p, q: q}
+	for d, v := range q {
+		if v != 0 {
+			s.dims = append(s.dims, d)
+		}
+	}
+	if len(s.dims) == 0 || p.Len() == 0 {
+		return nil
+	}
+	s.pos = make([]int, len(s.dims))
+	s.tau = make([]float64, len(s.dims))
+	for i := range s.tau {
+		s.tau[i] = math.Inf(1) // threshold undefined until first access per dim
+	}
+	s.unseenDims = len(s.dims)
+	return s
+}
+
+// Next performs one sorted access and returns the vector index drawn. ok is
+// false when every list is exhausted.
+func (s *Scanner) Next() (idx int, ok bool) {
+	n := s.pool.Len()
+	for tries := 0; tries < len(s.dims); tries++ {
+		a := s.cur
+		s.cur = (s.cur + 1) % len(s.dims)
+		if s.pos[a] >= n {
+			continue
+		}
+		d := s.dims[a]
+		list := s.pool.asc[d]
+		var i int32
+		if s.q[d] > 0 { // best = largest coordinate → read from the back
+			i = list[n-1-s.pos[a]]
+		} else {
+			i = list[s.pos[a]]
+		}
+		s.pos[a]++
+		v := s.pool.vecs[i][d]
+		if math.IsInf(s.tau[a], 1) {
+			s.unseenDims--
+		} else {
+			s.thrSum -= s.tau[a] * s.q[d]
+		}
+		s.tau[a] = v
+		s.thrSum += v * s.q[d]
+		s.accesses++
+		return int(i), true
+	}
+	return 0, false
+}
+
+// Threshold returns τ·q, the maximum possible score of any vector not yet
+// returned by Next. It is +Inf until every active dimension has been
+// accessed at least once. O(1): maintained incrementally by Next.
+func (s *Scanner) Threshold() float64 {
+	if s.unseenDims > 0 {
+		return math.Inf(1)
+	}
+	return s.thrSum
+}
+
+// Accesses returns the number of sorted accesses performed so far.
+func (s *Scanner) Accesses() int { return s.accesses }
+
+// CurrentRemaining returns how many entries remain unread in the list the
+// next call to Next would draw from (0 if all lists are exhausted).
+func (s *Scanner) CurrentRemaining() int {
+	n := s.pool.Len()
+	for tries := 0; tries < len(s.dims); tries++ {
+		a := (s.cur + tries) % len(s.dims)
+		if s.pos[a] < n {
+			return n - s.pos[a]
+		}
+	}
+	return 0
+}
+
+// CurrentUnread returns the vector indices not yet consumed from the list
+// the next call to Next would draw from, in access order. Used by the
+// hybrid maintenance algorithm's fallback scan (paper Algorithm 1 line 10).
+func (s *Scanner) CurrentUnread() []int32 {
+	n := s.pool.Len()
+	for tries := 0; tries < len(s.dims); tries++ {
+		a := (s.cur + tries) % len(s.dims)
+		if s.pos[a] >= n {
+			continue
+		}
+		d := s.dims[a]
+		list := s.pool.asc[d]
+		out := make([]int32, 0, n-s.pos[a])
+		if s.q[d] > 0 {
+			for i := n - 1 - s.pos[a]; i >= 0; i-- {
+				out = append(out, list[i])
+			}
+		} else {
+			out = append(out, list[s.pos[a]:]...)
+		}
+		return out
+	}
+	return nil
+}
+
+// AboveZero returns the indices of all vectors v with v·q > 0, using TA
+// with early termination once the threshold drops to ≤ 0, along with the
+// number of sorted accesses performed. Results are in no particular order.
+func (p *Pool) AboveZero(q []float64) (result []int, accesses int) {
+	s := NewScanner(p, q)
+	if s == nil {
+		return nil, 0
+	}
+	seen := make([]bool, p.Len())
+	for {
+		i, ok := s.Next()
+		if !ok {
+			break
+		}
+		if !seen[i] {
+			seen[i] = true
+			if p.Dot(i, q) > 0 {
+				result = append(result, i)
+			}
+		}
+		if s.Threshold() <= 0 {
+			break
+		}
+	}
+	return result, s.Accesses()
+}
+
+// scoredHeap is a min-heap of (index, score) used for top-k retention.
+type scoredHeap struct {
+	idx   []int
+	score []float64
+}
+
+func (h *scoredHeap) Len() int { return len(h.idx) }
+func (h *scoredHeap) Less(i, j int) bool {
+	if h.score[i] != h.score[j] {
+		return h.score[i] < h.score[j]
+	}
+	return h.idx[i] > h.idx[j] // ties: keep the smaller index (evict larger first)
+}
+func (h *scoredHeap) Swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.score[i], h.score[j] = h.score[j], h.score[i]
+}
+func (h *scoredHeap) Push(x any) {
+	p := x.([2]float64)
+	h.idx = append(h.idx, int(p[0]))
+	h.score = append(h.score, p[1])
+}
+func (h *scoredHeap) Pop() any {
+	n := len(h.idx) - 1
+	v := [2]float64{float64(h.idx[n]), h.score[n]}
+	h.idx = h.idx[:n]
+	h.score = h.score[:n]
+	return v
+}
+
+// TopK returns the indices of the k highest-scoring vectors under q
+// (descending score, ties by ascending index) and the number of sorted
+// accesses performed. TA terminates once the k-th best score reaches the
+// threshold.
+func (p *Pool) TopK(q []float64, k int) (result []int, accesses int) {
+	if k <= 0 || p.Len() == 0 {
+		return nil, 0
+	}
+	if k > p.Len() {
+		k = p.Len()
+	}
+	s := NewScanner(p, q)
+	if s == nil {
+		// Zero query: scores all zero; return the first k indices.
+		for i := 0; i < k; i++ {
+			result = append(result, i)
+		}
+		return result, 0
+	}
+	seen := make([]bool, p.Len())
+	h := &scoredHeap{}
+	for {
+		i, ok := s.Next()
+		if !ok {
+			break
+		}
+		if !seen[i] {
+			seen[i] = true
+			sc := p.Dot(i, q)
+			if h.Len() < k {
+				heap.Push(h, [2]float64{float64(i), sc})
+			} else if sc > h.score[0] || (sc == h.score[0] && i < h.idx[0]) {
+				h.idx[0], h.score[0] = i, sc
+				heap.Fix(h, 0)
+			}
+		}
+		if h.Len() == k && s.Threshold() <= h.score[0] {
+			break
+		}
+	}
+	// Drain the heap into descending order.
+	result = make([]int, h.Len())
+	for i := h.Len() - 1; i >= 0; i-- {
+		v := heap.Pop(h).([2]float64)
+		result[i] = int(v[0])
+	}
+	return result, s.Accesses()
+}

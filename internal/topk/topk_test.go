@@ -1,0 +1,293 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randVecs(rng *rand.Rand, n, d int) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.Float64()*2 - 1
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func bruteAboveZero(vecs [][]float64, q []float64) []int {
+	var out []int
+	for i, v := range vecs {
+		s := 0.0
+		for j := range v {
+			s += v[j] * q[j]
+		}
+		if s > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestPoolBasics(t *testing.T) {
+	vecs := [][]float64{{1, 2}, {3, 0}, {-1, 5}}
+	p := NewPool(vecs)
+	if p.Len() != 3 || p.Dims() != 2 {
+		t.Fatalf("pool shape %d×%d", p.Len(), p.Dims())
+	}
+	if got := p.Dot(1, []float64{2, 1}); got != 6 {
+		t.Errorf("Dot = %g, want 6", got)
+	}
+	asc0 := p.Asc(0)
+	if vecs[asc0[0]][0] > vecs[asc0[1]][0] || vecs[asc0[1]][0] > vecs[asc0[2]][0] {
+		t.Errorf("Asc(0) not ascending: %v", asc0)
+	}
+}
+
+func TestEmptyPool(t *testing.T) {
+	p := NewPool(nil)
+	if r, _ := p.AboveZero([]float64{1}); r != nil {
+		t.Error("AboveZero on empty pool returned results")
+	}
+	if r, _ := p.TopK([]float64{1}, 3); r != nil {
+		t.Error("TopK on empty pool returned results")
+	}
+}
+
+func TestScannerDirections(t *testing.T) {
+	vecs := [][]float64{{0.1}, {0.9}, {0.5}}
+	p := NewPool(vecs)
+	// Positive query: first access must be the largest coordinate.
+	s := NewScanner(p, []float64{1})
+	i, ok := s.Next()
+	if !ok || i != 1 {
+		t.Errorf("desc first access = %d, want 1", i)
+	}
+	// Negative query: first access must be the smallest coordinate.
+	s = NewScanner(p, []float64{-1})
+	i, ok = s.Next()
+	if !ok || i != 0 {
+		t.Errorf("asc first access = %d, want 0", i)
+	}
+}
+
+func TestScannerZeroQuery(t *testing.T) {
+	p := NewPool([][]float64{{1, 1}})
+	if s := NewScanner(p, []float64{0, 0}); s != nil {
+		t.Error("scanner for zero query should be nil")
+	}
+}
+
+func TestScannerThresholdMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPool(randVecs(rng, 50, 3))
+	q := []float64{0.5, -0.7, 0.2}
+	s := NewScanner(p, q)
+	prev := s.Threshold()
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		cur := s.Threshold()
+		if cur > prev+1e-9 {
+			t.Fatalf("threshold increased: %g → %g", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestThresholdBoundsUnseen: at every point of the scan, every unseen
+// vector's score must be ≤ the threshold — the TA invariant everything
+// else relies on.
+func TestThresholdBoundsUnseen(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		d := 1 + rng.Intn(4)
+		vecs := randVecs(rng, n, d)
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()*2 - 1
+		}
+		p := NewPool(vecs)
+		s := NewScanner(p, q)
+		if s == nil {
+			return true
+		}
+		seen := make([]bool, n)
+		for {
+			i, ok := s.Next()
+			if !ok {
+				break
+			}
+			seen[i] = true
+			thr := s.Threshold()
+			for j := 0; j < n; j++ {
+				if !seen[j] && p.Dot(j, q) > thr+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAboveZeroMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		d := 1 + rng.Intn(5)
+		vecs := randVecs(rng, n, d)
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()*2 - 1
+			if rng.Float64() < 0.2 {
+				q[j] = 0
+			}
+		}
+		p := NewPool(vecs)
+		got, _ := p.AboveZero(q)
+		sort.Ints(got)
+		want := bruteAboveZero(vecs, q)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAboveZeroEarlyTermination: when no vector scores above zero and the
+// query points away from the data, TA should touch far fewer entries than
+// a full scan of all lists.
+func TestAboveZeroEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		// All coordinates positive.
+		vecs[i] = []float64{rng.Float64() + 0.01, rng.Float64() + 0.01}
+	}
+	p := NewPool(vecs)
+	// q all-negative: every score < 0; first accesses already prove it.
+	res, accesses := p.AboveZero([]float64{-1, -1})
+	if len(res) != 0 {
+		t.Fatalf("got %d violators, want 0", len(res))
+	}
+	if accesses > n/10 {
+		t.Errorf("TA did %d accesses on a hopeless query (n=%d); early termination broken", accesses, n)
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		d := 1 + rng.Intn(4)
+		vecs := randVecs(rng, n, d)
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()*2 - 1
+		}
+		k := 1 + rng.Intn(n)
+		p := NewPool(vecs)
+		got, _ := p.TopK(q, k)
+		if len(got) != min(k, n) {
+			return false
+		}
+		// Compare score multisets (ties make index comparison fragile).
+		scores := make([]float64, n)
+		for i := range vecs {
+			scores[i] = p.Dot(i, q)
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		for i, idx := range got {
+			if scores[idx] != sorted[i] {
+				return false
+			}
+		}
+		// Result must be in descending score order.
+		for i := 1; i < len(got); i++ {
+			if scores[got[i]] > scores[got[i-1]]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKZeroQuery(t *testing.T) {
+	p := NewPool([][]float64{{1}, {2}, {3}})
+	got, _ := p.TopK([]float64{0}, 2)
+	if len(got) != 2 {
+		t.Fatalf("zero-query TopK len = %d", len(got))
+	}
+}
+
+func TestTopKKLargerThanPool(t *testing.T) {
+	p := NewPool([][]float64{{1}, {2}})
+	got, _ := p.TopK([]float64{1}, 10)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("order = %v, want [1 0]", got)
+	}
+}
+
+func TestCurrentUnreadCoversUnseen(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vecs := randVecs(rng, 30, 2)
+	p := NewPool(vecs)
+	q := []float64{0.6, -0.4}
+	s := NewScanner(p, q)
+	seenByNext := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		idx, ok := s.Next()
+		if !ok {
+			break
+		}
+		seenByNext[idx] = true
+	}
+	unread := s.CurrentUnread()
+	inUnread := map[int]bool{}
+	for _, j := range unread {
+		inUnread[int(j)] = true
+	}
+	// Every vector never returned by Next must be in the current list's
+	// unread remainder (the hybrid fallback's correctness condition).
+	for i := 0; i < p.Len(); i++ {
+		if !seenByNext[i] && !inUnread[i] {
+			t.Fatalf("vector %d unseen but not in CurrentUnread", i)
+		}
+	}
+	if got := s.CurrentRemaining(); got != len(unread) {
+		t.Errorf("CurrentRemaining = %d, want %d", got, len(unread))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
