@@ -1,23 +1,30 @@
-// Command serve runs the package recommender as an HTTP/JSON service for a
-// single user session — the integration style the paper describes (§1):
+// Command serve runs the package recommender as a multi-session HTTP/JSON
+// service — the integration style the paper describes (§1): each user's
 // recommendations are fetched at login, clicks are posted back as implicit
-// feedback, and the learned session state can be snapshotted and restored.
+// feedback, and learned session state survives eviction and restarts via
+// snapshots. One process serves many concurrent sessions over a single
+// shared catalogue index; residency is bounded by an LRU.
 //
 // Usage:
 //
-//	serve -addr :8080 -dataset nba -features 5
-//	curl localhost:8080/recommend
-//	curl -X POST localhost:8080/click -d '{"chosen":[1,2],"shown":[[1,2],[3]]}'
-//	curl localhost:8080/snapshot > session.json
+//	serve -addr :8080 -dataset nba -features 5 -capacity 1024 -snapshots ./sessions
+//	curl localhost:8080/sessions/alice/recommend
+//	curl -X POST localhost:8080/sessions/alice/click -d '{"chosen":[1,2],"shown":[[1,2],[3]]}'
+//	curl localhost:8080/sessions            # list resident sessions
+//	curl localhost:8080/healthz             # liveness + manager counters
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"toppkg/internal/core"
 	"toppkg/internal/dataset"
@@ -25,6 +32,7 @@ import (
 	"toppkg/internal/ranking"
 	"toppkg/internal/search"
 	"toppkg/internal/server"
+	"toppkg/internal/session"
 )
 
 func main() {
@@ -37,7 +45,10 @@ func main() {
 		k        = flag.Int("k", 5, "recommended packages per slate")
 		samples  = flag.Int("samples", 500, "weight-vector samples")
 		sem      = flag.String("semantics", "exp", "ranking semantics: exp, tkp, mpo")
-		snapshot = flag.String("restore", "", "path of a session snapshot to restore")
+		capacity = flag.Int("capacity", session.DefaultCapacity, "resident sessions before LRU eviction")
+		snapdir  = flag.String("snapshots", "", "directory persisting evicted sessions (empty: evicted state is dropped)")
+		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+		restore  = flag.String("restore", "", "path of a session snapshot to restore into the default session")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -56,7 +67,7 @@ func main() {
 	for i := range aggs {
 		aggs[i] = cycle[i%len(cycle)]
 	}
-	eng, err := core.New(core.Config{
+	shared, err := core.NewShared(core.Config{
 		Items:          data,
 		Profile:        feature.SimpleProfile(aggs...),
 		MaxPackageSize: *phi,
@@ -70,17 +81,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *snapshot != "" {
-		f, err := os.Open(*snapshot)
+	var store session.Store
+	if *snapdir != "" {
+		store, err = session.NewDirStore(*snapdir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := eng.Load(f); err != nil {
+	}
+	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: *capacity, Store: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
 			log.Fatal(err)
 		}
+		snap, err := core.ReadSnapshot(f)
 		f.Close()
-		log.Printf("restored session from %s", *snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = mgr.Do(server.DefaultSessionID, func(eng *core.Engine) error {
+			return eng.Restore(snap)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("restored default session from %s", *restore)
 	}
-	fmt.Printf("serving %s (%d items, %d features) on %s\n", *kind, len(data), *features, *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+	fmt.Printf("serving %s (%d items, %d features) on %s, capacity %d sessions\n",
+		*kind, len(data), *features, *addr, *capacity)
+	srv := &http.Server{Addr: *addr, Handler: server.New(mgr, server.Options{MaxBodyBytes: *maxBody})}
+	// Graceful shutdown: flush resident sessions to the snapshot store, so
+	// learned state survives restarts, not just LRU pressure.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		log.Printf("shutting down: flushing %d resident sessions", mgr.Len())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		mgr.Shutdown()
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done // ListenAndServe returned because Shutdown ran; wait out the flush
 }

@@ -1,0 +1,3 @@
+module toppkg
+
+go 1.22

@@ -151,9 +151,21 @@ type Engine struct {
 	stats Stats
 }
 
-// New validates the configuration and builds an engine. Sampling is lazy:
-// the pool is drawn on the first Recommend.
-func New(cfg Config) (*Engine, error) {
+// Shared is the catalog-wide immutable half of an engine: the normalized
+// configuration, the feature space, and the search index, built once per
+// item catalogue. Many engines (one per user session) derive from one
+// Shared via NewEngine, skipping the O(n log n) index construction that
+// dominates core.New. A Shared is safe for concurrent use; the engines it
+// produces are independent and individually single-threaded.
+type Shared struct {
+	cfg   Config
+	space *feature.Space
+	ix    *search.Index
+}
+
+// NewShared validates cfg, applies the paper's defaults, and builds the
+// feature space and search index once.
+func NewShared(cfg Config) (*Shared, error) {
 	if cfg.Profile == nil {
 		return nil, fmt.Errorf("core: Config.Profile is required")
 	}
@@ -187,9 +199,30 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Prior != nil && cfg.Prior.Dims() != cfg.Profile.Dims() {
+		return nil, fmt.Errorf("core: prior has %d dims, profile has %d", cfg.Prior.Dims(), cfg.Profile.Dims())
+	}
 	space, err := feature.NewSpace(cfg.Items, cfg.Profile, cfg.MaxPackageSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Shared{cfg: cfg, space: space, ix: search.NewIndex(space)}, nil
+}
+
+// Space exposes the shared feature space.
+func (sh *Shared) Space() *feature.Space { return sh.space }
+
+// Index exposes the shared search index (safe for concurrent TopK runs).
+func (sh *Shared) Index() *search.Index { return sh.ix }
+
+// NewEngine derives an independent engine over the shared space and index:
+// its own random stream, preference graph, and sample pool. seed
+// differentiates sessions; 0 falls back to the shared config's seed, so
+// Shared{cfg}.NewEngine(0) behaves exactly like New(cfg).
+func (sh *Shared) NewEngine(seed int64) (*Engine, error) {
+	cfg := sh.cfg
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if cfg.Prior == nil {
@@ -200,11 +233,22 @@ func New(cfg Config) (*Engine, error) {
 	}
 	return &Engine{
 		cfg:   cfg,
-		space: space,
-		ix:    search.NewIndex(space),
+		space: sh.space,
+		ix:    sh.ix,
 		rng:   rng,
 		graph: prefgraph.New(),
 	}, nil
+}
+
+// New validates the configuration and builds an engine. Sampling is lazy:
+// the pool is drawn on the first Recommend. Callers creating many engines
+// over one catalogue should build a Shared once and use NewEngine instead.
+func New(cfg Config) (*Engine, error) {
+	sh, err := NewShared(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sh.NewEngine(0)
 }
 
 // Space exposes the feature space (items, profile, normalizer).
@@ -219,6 +263,10 @@ func (e *Engine) Stats() Stats {
 	s.ConstraintsActive = len(e.constraints())
 	return s
 }
+
+// FeedbackCount returns the number of recorded pairwise preferences
+// without recomputing the reduced constraint set (unlike Stats).
+func (e *Engine) FeedbackCount() int { return e.stats.Feedback }
 
 // Graph exposes the preference DAG (read-mostly; use Feedback to mutate).
 func (e *Engine) Graph() *prefgraph.Graph { return e.graph }

@@ -6,6 +6,7 @@ import (
 
 	"toppkg/internal/dataset"
 	"toppkg/internal/feature"
+	"toppkg/internal/gaussmix"
 	"toppkg/internal/pkgspace"
 	"toppkg/internal/ranking"
 	"toppkg/internal/search"
@@ -367,5 +368,93 @@ func TestFeedbackBeforeSampling(t *testing.T) {
 		if feature.Dot(s.W, wv) < feature.Dot(s.W, lv)-1e-9 {
 			t.Fatalf("initial sample %d ignores pre-sampling feedback", i)
 		}
+	}
+}
+
+func TestSharedEngineEquivalentToNew(t *testing.T) {
+	cfg := testConfig(t, 40)
+	sh, err := NewShared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate := func(e *Engine) []string {
+		s, err := e.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sigs []string
+		for _, p := range s.All {
+			sigs = append(sigs, p.Signature())
+		}
+		return sigs
+	}
+	direct, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := sh.NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.space != sh.space || derived.ix != sh.ix {
+		t.Fatal("derived engine rebuilt the shared space/index")
+	}
+	a, b := slate(direct), slate(derived)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Shared.NewEngine(0) diverges from New at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	seeded, err := sh.NewEngine(cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := slate(seeded)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("NewEngine(cfg.Seed) diverges from New at %d", i)
+		}
+	}
+}
+
+func TestSharedEnginesAreIndependent(t *testing.T) {
+	sh, err := NewShared(testConfig(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sh.NewEngine(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sh.NewEngine(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Feedback(pkgspace.New(0), pkgspace.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().Feedback; got != 0 {
+		t.Fatalf("feedback leaked across engines: %d", got)
+	}
+	// The reverse preference is a cycle in a but fresh in b.
+	if err := b.Feedback(pkgspace.New(1), pkgspace.New(0)); err != nil {
+		t.Fatalf("independent engine rejected fresh feedback: %v", err)
+	}
+	if a.Stats().Feedback != 1 || b.Stats().Feedback != 1 {
+		t.Fatalf("stats entangled: a=%d b=%d", a.Stats().Feedback, b.Stats().Feedback)
+	}
+}
+
+func TestSharedValidation(t *testing.T) {
+	if _, err := NewShared(Config{}); err == nil {
+		t.Error("NewShared accepted missing profile")
+	}
+	cfg := testConfig(t, 20)
+	cfg.Prior = gaussmix.Gaussian([]float64{0, 0}, 0.5) // 2 dims vs 3-dim profile
+	if _, err := NewShared(cfg); err == nil {
+		t.Error("NewShared accepted prior/profile dim mismatch")
 	}
 }

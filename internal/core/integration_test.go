@@ -17,6 +17,9 @@ import (
 // engine's top recommendation must score close to the true optimum under
 // the hidden utility.
 func TestEndToEndLearnsHiddenUtility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full elicitation sessions are slow")
+	}
 	rng := rand.New(rand.NewSource(77))
 	items := dataset.COR(120, 3, rng)
 	profile := feature.SimpleProfile(feature.AggSum, feature.AggAvg, feature.AggMax)

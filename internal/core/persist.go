@@ -117,10 +117,35 @@ func (e *Engine) Restore(s *Snapshot) error {
 	return nil
 }
 
+// WriteSnapshot encodes a snapshot as JSON — the codec behind Save, usable
+// without an engine (e.g. a session store persisting evicted sessions).
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return errors.New("core: nil snapshot")
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot/Save. It checks
+// the wire version and internal consistency, but not compatibility with any
+// particular item space — Restore does that.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	if len(s.Samples) != len(s.Weights) {
+		return nil, fmt.Errorf("core: snapshot has %d samples but %d weights", len(s.Samples), len(s.Weights))
+	}
+	return &s, nil
+}
+
 // Save writes the engine's snapshot as JSON.
 func (e *Engine) Save(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(e.Snapshot())
+	return WriteSnapshot(w, e.Snapshot())
 }
 
 // Load restores the engine from JSON written by Save.

@@ -63,6 +63,9 @@ func TestFig7Smoke(t *testing.T) {
 }
 
 func TestQualitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality sweeps 3 samplers × 3 semantics")
+	}
 	tables, err := Quality(tiny())
 	checkTables(t, tables, err, 1)
 	if len(tables[0].Rows) != 9 {
@@ -74,7 +77,7 @@ func TestFig8Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("elicitation sessions are slow")
 	}
-	tables, err := Fig8(Params{Scale: 0.01, Seed: 1})
+	tables, err := Fig8(Params{Scale: 0.005, Seed: 1})
 	checkTables(t, tables, err, 1)
 	if len(tables[0].Rows) != 5 {
 		t.Errorf("fig8 should have one row per feature count, got %d", len(tables[0].Rows))

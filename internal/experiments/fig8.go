@@ -27,8 +27,16 @@ func Fig8(p Params) ([]Table, error) {
 		users = 100
 	}
 	sampleCount := p.scaled(750)
-	if sampleCount < 100 {
-		sampleCount = 100
+	if sampleCount < 60 {
+		sampleCount = 60
+	}
+	// Only tiny smoke scales shrink the session length: a 3-round session
+	// still exercises the recommend→click→maintain loop end to end. Every
+	// normal scale (including the 0.2 default) keeps the full 12 rounds
+	// the convergence measurement needs.
+	rounds := 12
+	if p.Scale > 0 && p.Scale < 0.05 {
+		rounds = 3
 	}
 	nbaAll := dataset.NBA(p.rng(8))
 
@@ -62,7 +70,7 @@ func Fig8(p Params) ([]Table, error) {
 			rng := p.rng(int64(800 + u*17 + m))
 			user := simulate.NewRandomUser(eng.Space().Profile, rng)
 			res, err := simulate.RunSession(eng, user, simulate.SessionConfig{
-				MaxRounds: 12, StableRounds: 2,
+				MaxRounds: rounds, StableRounds: 2,
 			}, rng)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 m=%d user=%d: %w", m, u, err)

@@ -14,6 +14,9 @@ import (
 // adversarially mixed weights, the beamed top-1 utility must stay within
 // 3% of the exact top-1, and match it in most trials.
 func TestBeamQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beam-quality sweep over 2000 items is slow")
+	}
 	rng := rand.New(rand.NewSource(33))
 	items := dataset.UNI(2000, 5, rng)
 	cycle := []feature.Agg{feature.AggSum, feature.AggAvg, feature.AggMax, feature.AggMin}

@@ -1,17 +1,29 @@
 // Package server exposes the package recommender over HTTP/JSON — the
 // deployment surface the paper envisions (§1: recommendations shown at
 // login, clicks logged as implicit feedback, no explicit elicitation
-// queries). A single engine serves one user session; the handler
-// serializes access, since the engine itself is single-threaded.
+// queries). Many user sessions are served concurrently by one process: a
+// session.Manager keys independent engines by session ID, so requests for
+// different sessions proceed in parallel while one session's requests are
+// serialized.
 //
-// Endpoints:
+// Session-scoped endpoints (the session ID comes from the path, or from
+// the X-Session-ID header on the legacy un-prefixed paths, defaulting to
+// "default"):
 //
-//	GET  /recommend           → {"recommended": [...], "random": [...]}
-//	POST /click               ← {"chosen": [ids], "shown": [[ids], ...]}
-//	POST /feedback            ← {"winner": [ids], "loser": [ids]}
-//	GET  /stats               → engine counters
-//	GET  /snapshot            → persisted session state (JSON)
-//	POST /snapshot            ← restores a previously saved session
+//	GET    /sessions/{id}/recommend  → {"recommended": [...], "random": [...]}
+//	POST   /sessions/{id}/click      ← {"chosen": [ids], "shown": [[ids], ...]}
+//	POST   /sessions/{id}/feedback   ← {"winner": [ids], "loser": [ids]}
+//	GET    /sessions/{id}/stats      → engine counters
+//	GET    /sessions/{id}/snapshot   → persisted session state (JSON)
+//	POST   /sessions/{id}/snapshot   ← restores a previously saved session
+//
+// Management endpoints:
+//
+//	GET    /sessions                 → {"sessions": [{"id", "last_used", "feedback"}]}
+//	DELETE /sessions/{id}            → drops the session and its snapshot
+//	GET    /healthz                  → {"status": "ok", "sessions": {...}}
+//
+// Every error is JSON: {"error": "..."} with a matching status code.
 package server
 
 import (
@@ -19,36 +31,89 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sync"
 
 	"toppkg/internal/core"
 	"toppkg/internal/pkgspace"
 	"toppkg/internal/prefgraph"
+	"toppkg/internal/session"
 )
 
-// Server wraps an engine with an HTTP handler.
-type Server struct {
-	mu  sync.Mutex
-	eng *core.Engine
-	mux *http.ServeMux
+// DefaultMaxBodyBytes caps request bodies when Options.MaxBodyBytes is 0.
+const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultSessionID serves legacy header-less requests on the un-prefixed
+// paths, preserving the original single-session curl workflow.
+const DefaultSessionID = "default"
+
+// SnapshotBodyFactor multiplies MaxBodyBytes for POST snapshot requests:
+// a snapshot carries the whole sample pool (SampleCount × dims floats), so
+// the server must accept bodies at least as large as the ones its own
+// GET snapshot emits.
+const SnapshotBodyFactor = 64
+
+// minSnapshotBodyBytes floors the snapshot cap so that an aggressively
+// small -max-body cannot shrink it below what any realistic engine
+// configuration's own snapshot needs.
+const minSnapshotBodyBytes = 16 << 20
+
+// Options tunes the HTTP layer.
+type Options struct {
+	// MaxBodyBytes bounds click/feedback request bodies (default
+	// DefaultMaxBodyBytes); snapshot restores get SnapshotBodyFactor times
+	// as much. Oversized payloads get 413.
+	MaxBodyBytes int64
 }
 
-// New builds a server around an engine. The engine must not be used
-// concurrently outside the server afterwards.
-func New(eng *core.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
-	s.mux.HandleFunc("POST /click", s.handleClick)
-	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotPost)
+// Server routes HTTP requests onto a session manager.
+type Server struct {
+	mgr     *session.Manager
+	mux     *http.ServeMux
+	maxBody int64
+}
+
+// New builds a server over a session manager.
+func New(mgr *session.Manager, opts Options) *Server {
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), maxBody: opts.MaxBodyBytes}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /sessions", s.handleSessions)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
+	// Each session-scoped route is registered twice: under /sessions/{id}
+	// and at the legacy root path (session from X-Session-ID header).
+	for _, ep := range []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "recommend", s.handleRecommend},
+		{"POST", "click", s.handleClick},
+		{"POST", "feedback", s.handleFeedback},
+		{"GET", "stats", s.handleStats},
+		{"GET", "snapshot", s.handleSnapshotGet},
+		{"POST", "snapshot", s.handleSnapshotPost},
+	} {
+		s.mux.HandleFunc(ep.method+" /sessions/{id}/"+ep.path, ep.h)
+		s.mux.HandleFunc(ep.method+" /"+ep.path, ep.h)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// sessionID resolves the session a request addresses: path first, then
+// header, then the default session.
+func sessionID(r *http.Request) string {
+	if id := r.PathValue("id"); id != "" {
+		return id
+	}
+	if id := r.Header.Get("X-Session-ID"); id != "" {
+		return id
+	}
+	return DefaultSessionID
 }
 
 // PackageJSON is the wire form of one package.
@@ -64,28 +129,32 @@ type SlateJSON struct {
 	Random      []PackageJSON `json:"random"`
 }
 
-func (s *Server) pkgJSON(p pkgspace.Package, score float64) PackageJSON {
+func pkgJSON(eng *core.Engine, p pkgspace.Package, score float64) PackageJSON {
 	names := make([]string, len(p.IDs))
 	for i, id := range p.IDs {
-		names[i] = s.eng.Space().Items[id].Name
+		names[i] = eng.Space().Items[id].Name
 	}
 	return PackageJSON{Items: append([]int(nil), p.IDs...), Names: names, Score: score}
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	slate, err := s.eng.Recommend()
-	s.mu.Unlock()
+	var out SlateJSON
+	err := s.mgr.Do(sessionID(r), func(eng *core.Engine) error {
+		slate, err := eng.Recommend()
+		if err != nil {
+			return err
+		}
+		for _, rec := range slate.Recommended {
+			out.Recommended = append(out.Recommended, pkgJSON(eng, rec.Pkg, rec.Score))
+		}
+		for _, p := range slate.Random {
+			out.Random = append(out.Random, pkgJSON(eng, p, 0))
+		}
+		return nil
+	})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, statusFor(err), err)
 		return
-	}
-	out := SlateJSON{}
-	for _, rec := range slate.Recommended {
-		out.Recommended = append(out.Recommended, s.pkgJSON(rec.Pkg, rec.Score))
-	}
-	for _, p := range slate.Random {
-		out.Random = append(out.Random, s.pkgJSON(p, 0))
 	}
 	writeJSON(w, out)
 }
@@ -98,8 +167,8 @@ type ClickRequest struct {
 
 func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
 	var req ClickRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req, s.maxBody); err != nil {
+		httpError(w, statusFor(err), err)
 		return
 	}
 	if len(req.Chosen) == 0 || len(req.Shown) == 0 {
@@ -111,10 +180,15 @@ func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
 	for i, ids := range req.Shown {
 		shown[i] = pkgspace.New(ids...)
 	}
-	s.mu.Lock()
-	err := s.eng.Click(chosen, shown)
-	st := s.eng.Stats()
-	s.mu.Unlock()
+	var st core.Stats
+	err := s.mgr.Do(sessionID(r), func(eng *core.Engine) error {
+		if err := validatePackages(eng, append(shown, chosen)); err != nil {
+			return err
+		}
+		err := eng.Click(chosen, shown)
+		st = eng.Stats()
+		return err
+	})
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -130,14 +204,20 @@ type FeedbackRequest struct {
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req, s.maxBody); err != nil {
+		httpError(w, statusFor(err), err)
 		return
 	}
-	s.mu.Lock()
-	err := s.eng.Feedback(pkgspace.New(req.Winner...), pkgspace.New(req.Loser...))
-	st := s.eng.Stats()
-	s.mu.Unlock()
+	winner, loser := pkgspace.New(req.Winner...), pkgspace.New(req.Loser...)
+	var st core.Stats
+	err := s.mgr.Do(sessionID(r), func(eng *core.Engine) error {
+		if err := validatePackages(eng, []pkgspace.Package{winner, loser}); err != nil {
+			return err
+		}
+		err := eng.Feedback(winner, loser)
+		st = eng.Stats()
+		return err
+	})
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -146,40 +226,121 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	st := s.eng.Stats()
-	s.mu.Unlock()
+	var st core.Stats
+	err := s.mgr.Do(sessionID(r), func(eng *core.Engine) error {
+		st = eng.Stats()
+		return nil
+	})
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
 	writeJSON(w, st)
 }
 
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	snap := s.eng.Snapshot()
-	s.mu.Unlock()
+	var snap *core.Snapshot
+	err := s.mgr.Do(sessionID(r), func(eng *core.Engine) error {
+		snap = eng.Snapshot()
+		return nil
+	})
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
 	writeJSON(w, snap)
 }
 
 func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	snapLimit := s.maxBody * SnapshotBodyFactor
+	if snapLimit < minSnapshotBodyBytes {
+		snapLimit = minSnapshotBodyBytes
+	}
 	var snap core.Snapshot
-	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &snap, snapLimit); err != nil {
+		httpError(w, statusFor(err), err)
 		return
 	}
-	s.mu.Lock()
-	err := s.eng.Restore(&snap)
-	s.mu.Unlock()
+	err := s.mgr.Do(sessionID(r), func(eng *core.Engine) error {
+		if err := eng.Restore(&snap); err != nil {
+			return badRequest{err}
+		}
+		return nil
+	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// statusFor maps engine errors to HTTP statuses: contradictory feedback is
-// the client's inconsistency (409), everything else is internal.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"sessions": s.mgr.List()})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "sessions": s.mgr.Stats()})
+}
+
+// badRequest marks an error as the client's fault (400).
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+// decodeBody parses a JSON request body under a size cap, preserving the
+// MaxBytesReader error so oversized payloads map to 413 rather than 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return err
+		}
+		return badRequest{fmt.Errorf("invalid JSON body: %w", err)}
+	}
+	return nil
+}
+
+// validatePackages rejects out-of-range item IDs before they reach the
+// engine, so malformed payloads are the client's error, not a 500.
+func validatePackages(eng *core.Engine, pkgs []pkgspace.Package) error {
+	for _, p := range pkgs {
+		if len(p.IDs) == 0 {
+			return badRequest{errors.New("empty package")}
+		}
+		if err := pkgspace.ValidateIDs(eng.Space(), p); err != nil {
+			return badRequest{err}
+		}
+	}
+	return nil
+}
+
+// statusFor maps errors to HTTP statuses: invalid input is 400, unknown
+// sessions 404, contradictory feedback is the client's inconsistency
+// (409), oversized bodies 413, everything else internal.
 func statusFor(err error) int {
-	if errors.Is(err, prefgraph.ErrCycle) {
+	var br badRequest
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest
+	case errors.Is(err, session.ErrBadID):
+		return http.StatusBadRequest
+	case errors.Is(err, session.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, prefgraph.ErrCycle):
 		return http.StatusConflict
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusInternalServerError
 }

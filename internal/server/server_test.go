@@ -4,20 +4,25 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	"toppkg/internal/core"
 	"toppkg/internal/dataset"
 	"toppkg/internal/feature"
+	"toppkg/internal/search"
+	"toppkg/internal/session"
 )
 
-func testServer(t *testing.T) (*Server, *httptest.Server) {
+func testShared(t *testing.T) *core.Shared {
 	t.Helper()
 	rng := rand.New(rand.NewSource(300))
-	eng, err := core.New(core.Config{
+	sh, err := core.NewShared(core.Config{
 		Items:          dataset.UNI(40, 2, rng),
 		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
 		MaxPackageSize: 3,
@@ -25,14 +30,27 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 		RandomCount:    2,
 		SampleCount:    80,
 		Seed:           4,
+		Search:         search.Options{MaxQueue: 32, MaxAccessed: 100},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(eng)
-	ts := httptest.NewServer(s)
+	return sh
+}
+
+func testServerWith(t *testing.T, capacity int, store session.Store, opts Options) (*session.Manager, *httptest.Server) {
+	t.Helper()
+	mgr, err := session.NewManager(session.Config{Shared: testShared(t), Capacity: capacity, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(mgr, opts))
 	t.Cleanup(ts.Close)
-	return s, ts
+	return mgr, ts
+}
+
+func testServer(t *testing.T) (*session.Manager, *httptest.Server) {
+	return testServerWith(t, 64, session.NewMemStore(), Options{})
 }
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
@@ -42,7 +60,7 @@ func getJSON(t *testing.T, url string, out any) *http.Response {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if out != nil {
+	if out != nil && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			t.Fatalf("decoding %s: %v", url, err)
 		}
@@ -72,7 +90,7 @@ func postJSON(t *testing.T, url string, body any, out any) *http.Response {
 func TestRecommendEndpoint(t *testing.T) {
 	_, ts := testServer(t)
 	var slate SlateJSON
-	resp := getJSON(t, ts.URL+"/recommend", &slate)
+	resp := getJSON(t, ts.URL+"/sessions/alice/recommend", &slate)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
@@ -86,10 +104,40 @@ func TestRecommendEndpoint(t *testing.T) {
 	}
 }
 
+func TestLegacyPathsUseHeaderSession(t *testing.T) {
+	_, ts := testServer(t)
+	req, _ := http.NewRequest("POST", ts.URL+"/feedback",
+		strings.NewReader(`{"winner":[0],"loser":[1]}`))
+	req.Header.Set("X-Session-ID", "headed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("header feedback status %d", resp.StatusCode)
+	}
+	// The feedback landed in "headed", not in "default".
+	var st core.Stats
+	getJSON(t, ts.URL+"/sessions/headed/stats", &st)
+	if st.Feedback != 1 {
+		t.Errorf("headed Feedback = %d, want 1", st.Feedback)
+	}
+	getJSON(t, ts.URL+"/sessions/default/stats", &st)
+	if st.Feedback != 0 {
+		t.Errorf("default Feedback = %d, want 0", st.Feedback)
+	}
+	// No header falls back to the default session.
+	resp = getJSON(t, ts.URL+"/stats", &st)
+	if resp.StatusCode != http.StatusOK || st.Feedback != 0 {
+		t.Errorf("legacy /stats: status %d, Feedback %d", resp.StatusCode, st.Feedback)
+	}
+}
+
 func TestClickFlow(t *testing.T) {
 	_, ts := testServer(t)
 	var slate SlateJSON
-	getJSON(t, ts.URL+"/recommend", &slate)
+	getJSON(t, ts.URL+"/sessions/alice/recommend", &slate)
 
 	shown := make([][]int, 0, len(slate.Recommended)+len(slate.Random))
 	for _, p := range slate.Recommended {
@@ -99,68 +147,174 @@ func TestClickFlow(t *testing.T) {
 		shown = append(shown, p.Items)
 	}
 	var st core.Stats
-	resp := postJSON(t, ts.URL+"/click", ClickRequest{Chosen: shown[1], Shown: shown}, &st)
+	resp := postJSON(t, ts.URL+"/sessions/alice/click", ClickRequest{Chosen: shown[1], Shown: shown}, &st)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("click status %d", resp.StatusCode)
 	}
 	if st.Feedback == 0 {
 		t.Error("click produced no feedback")
 	}
-	// The next recommendation must still work.
-	resp = getJSON(t, ts.URL+"/recommend", &slate)
+	resp = getJSON(t, ts.URL+"/sessions/alice/recommend", &slate)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-click recommend status %d", resp.StatusCode)
 	}
 }
 
-func TestFeedbackEndpointAndConflict(t *testing.T) {
+func TestFeedbackConflict(t *testing.T) {
 	_, ts := testServer(t)
-	var st core.Stats
-	resp := postJSON(t, ts.URL+"/feedback", FeedbackRequest{Winner: []int{0, 1}, Loser: []int{2}}, &st)
+	resp := postJSON(t, ts.URL+"/sessions/a/feedback", FeedbackRequest{Winner: []int{0, 1}, Loser: []int{2}}, nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("feedback status %d", resp.StatusCode)
 	}
-	if st.Feedback != 1 {
-		t.Errorf("Feedback = %d", st.Feedback)
-	}
-	// The exact reverse preference contradicts: 409.
-	resp = postJSON(t, ts.URL+"/feedback", FeedbackRequest{Winner: []int{2}, Loser: []int{0, 1}}, nil)
+	resp = postJSON(t, ts.URL+"/sessions/a/feedback", FeedbackRequest{Winner: []int{2}, Loser: []int{0, 1}}, nil)
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("contradiction status %d, want 409", resp.StatusCode)
 	}
 }
 
-func TestClickValidation(t *testing.T) {
-	_, ts := testServer(t)
-	resp := postJSON(t, ts.URL+"/click", ClickRequest{}, nil)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty click status %d", resp.StatusCode)
+// errorShape decodes the error body and requires the {"error": "..."}
+// contract.
+func errorShape(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
 	}
-	r2, err := http.Post(ts.URL+"/click", "application/json", bytes.NewReader([]byte("{bad")))
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if body["error"] == "" {
+		t.Errorf("error body missing 'error' field: %v", body)
+	}
+	return body["error"]
+}
+
+// TestErrorPaths table-drives the HTTP error surface: unknown sessions,
+// malformed bodies, invalid IDs, wrong methods, oversized payloads. Every
+// JSON-producing error must carry the {"error": ...} shape.
+func TestErrorPaths(t *testing.T) {
+	bigShown := make([][]int, 0, 40000)
+	for i := 0; i < 40000; i++ {
+		bigShown = append(bigShown, []int{i % 40, (i + 1) % 40})
+	}
+	oversized, err := json.Marshal(ClickRequest{Chosen: []int{0}, Shown: bigShown})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2.Body.Close()
-	if r2.StatusCode != http.StatusBadRequest {
-		t.Fatalf("garbage click status %d", r2.StatusCode)
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantJSON   bool // JSON error shape expected (mux-level 404/405 are text)
+	}{
+		{"delete unknown session", "DELETE", "/sessions/ghost", "", http.StatusNotFound, true},
+		{"invalid session id", "GET", "/sessions/bad%20id/stats", "", http.StatusBadRequest, true},
+		{"dotfile session id", "GET", "/sessions/.hidden/stats", "", http.StatusBadRequest, true},
+		{"malformed click JSON", "POST", "/sessions/a/click", "{bad", http.StatusBadRequest, true},
+		{"empty click", "POST", "/sessions/a/click", "{}", http.StatusBadRequest, true},
+		{"click out-of-range item", "POST", "/sessions/a/click", `{"chosen":[999],"shown":[[1]]}`, http.StatusBadRequest, true},
+		{"click empty package", "POST", "/sessions/a/click", `{"chosen":[1],"shown":[[]]}`, http.StatusBadRequest, true},
+		{"feedback out-of-range item", "POST", "/sessions/a/feedback", `{"winner":[999],"loser":[1]}`, http.StatusBadRequest, true},
+		{"malformed snapshot", "POST", "/sessions/a/snapshot", "not json", http.StatusBadRequest, true},
+		{"snapshot wrong version", "POST", "/sessions/a/snapshot", `{"version":99}`, http.StatusBadRequest, true},
+		{"oversized click payload", "POST", "/sessions/a/click", string(oversized), http.StatusRequestEntityTooLarge, true},
+		{"wrong method recommend", "POST", "/sessions/a/recommend", "{}", http.StatusMethodNotAllowed, false},
+		{"wrong method click", "GET", "/sessions/a/click", "", http.StatusMethodNotAllowed, false},
+		{"unknown route", "GET", "/nope", "", http.StatusNotFound, false},
+	}
+	_, ts := testServerWith(t, 64, session.NewMemStore(), Options{MaxBodyBytes: 64 << 10})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d (body %.120s)", resp.StatusCode, tc.wantStatus, b)
+			}
+			if tc.wantJSON {
+				errorShape(t, resp)
+			}
+		})
 	}
 }
 
-func TestStatsEndpoint(t *testing.T) {
+func TestSessionsListAndDelete(t *testing.T) {
 	_, ts := testServer(t)
-	var st core.Stats
-	resp := getJSON(t, ts.URL+"/stats", &st)
+	postJSON(t, ts.URL+"/sessions/alice/feedback", FeedbackRequest{Winner: []int{0}, Loser: []int{1}}, nil)
+	getJSON(t, ts.URL+"/sessions/bob/stats", nil)
+
+	var list struct {
+		Sessions []session.Info `json:"sessions"`
+	}
+	resp := getJSON(t, ts.URL+"/sessions", &list)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("stats status %d", resp.StatusCode)
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	if len(list.Sessions) != 2 || list.Sessions[0].ID != "alice" || list.Sessions[1].ID != "bob" {
+		t.Fatalf("sessions list: %+v", list.Sessions)
+	}
+	if list.Sessions[0].Feedback != 1 {
+		t.Errorf("alice feedback in list = %d", list.Sessions[0].Feedback)
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/sessions/alice", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/sessions", &list)
+	for _, s := range list.Sessions {
+		if s.ID == "alice" {
+			t.Error("alice still listed after delete")
+		}
+	}
+	// Deleted session state is gone: fresh stats.
+	var st core.Stats
+	getJSON(t, ts.URL+"/sessions/alice/stats", &st)
+	if st.Feedback != 0 {
+		t.Errorf("deleted alice Feedback = %d", st.Feedback)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	getJSON(t, ts.URL+"/sessions/x/stats", nil)
+	var out struct {
+		Status   string        `json:"status"`
+		Sessions session.Stats `json:"sessions"`
+	}
+	resp := getJSON(t, ts.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out.Status != "ok" {
+		t.Fatalf("healthz: status %d, %+v", resp.StatusCode, out)
+	}
+	if out.Sessions.Live != 1 || out.Sessions.Capacity != 64 {
+		t.Errorf("healthz counters: %+v", out.Sessions)
 	}
 }
 
 func TestSnapshotRoundTripOverHTTP(t *testing.T) {
 	_, ts := testServer(t)
-	postJSON(t, ts.URL+"/feedback", FeedbackRequest{Winner: []int{0}, Loser: []int{1}}, nil)
-	getJSON(t, ts.URL+"/recommend", nil) // force sampling
+	getJSON(t, ts.URL+"/sessions/alice/recommend", nil) // force sampling
+	postJSON(t, ts.URL+"/sessions/alice/feedback", FeedbackRequest{Winner: []int{0}, Loser: []int{1}}, nil)
 
-	resp, err := http.Get(ts.URL + "/snapshot")
+	resp, err := http.Get(ts.URL + "/sessions/alice/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,36 +327,110 @@ func TestSnapshotRoundTripOverHTTP(t *testing.T) {
 		t.Fatalf("snapshot content: %d prefs, %d samples", len(snap.Preferences), len(snap.Samples))
 	}
 
-	// Restore into a fresh server.
+	// Restore into a different session of a fresh server.
 	_, ts2 := testServer(t)
-	r2 := postJSON(t, ts2.URL+"/snapshot", snap, nil)
+	r2 := postJSON(t, ts2.URL+"/sessions/imported/snapshot", snap, nil)
 	if r2.StatusCode != http.StatusNoContent {
 		t.Fatalf("restore status %d", r2.StatusCode)
 	}
 	var st core.Stats
-	getJSON(t, ts2.URL+"/stats", &st)
+	getJSON(t, ts2.URL+"/sessions/imported/stats", &st)
 	if st.Feedback != 1 {
 		t.Errorf("restored Feedback = %d", st.Feedback)
 	}
 }
 
-func TestMethodNotAllowed(t *testing.T) {
-	_, ts := testServer(t)
-	resp, err := http.Post(ts.URL+"/recommend", "application/json", bytes.NewReader(nil))
-	if err != nil {
+// TestConcurrentSessionsOverHTTP drives 16 independent sessions in
+// parallel through the HTTP layer — recommend, click, feedback — then
+// verifies no cross-session state leakage: every session holds exactly
+// the feedback it generated. Run with -race.
+func TestConcurrentSessionsOverHTTP(t *testing.T) {
+	const sessions = 16
+	// Capacity below the session count, with a store: eviction and restore
+	// churn under concurrent HTTP load.
+	_, ts := testServerWith(t, 8, session.NewMemStore(), Options{})
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	clicked := make([]int, sessions) // feedback each session produced via click
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("user-%d", i)
+			base := ts.URL + "/sessions/" + id
+			var slate SlateJSON
+			resp, err := http.Get(base + "/recommend")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				errs <- fmt.Errorf("%s recommend: %d %.120s", id, resp.StatusCode, b)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&slate); err != nil {
+				resp.Body.Close()
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			shown := make([][]int, 0, len(slate.Recommended)+len(slate.Random))
+			for _, p := range slate.Recommended {
+				shown = append(shown, p.Items)
+			}
+			for _, p := range slate.Random {
+				shown = append(shown, p.Items)
+			}
+			body, _ := json.Marshal(ClickRequest{Chosen: shown[i%len(shown)], Shown: shown})
+			cresp, err := http.Post(base+"/click", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var st core.Stats
+			if err := json.NewDecoder(cresp.Body).Decode(&st); err != nil {
+				cresp.Body.Close()
+				errs <- err
+				return
+			}
+			cresp.Body.Close()
+			if cresp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s click: %d", id, cresp.StatusCode)
+				return
+			}
+			clicked[i] = st.Feedback
+			if clicked[i] == 0 {
+				errs <- fmt.Errorf("%s click recorded no feedback", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST /recommend status %d, want 405", resp.StatusCode)
+	// Isolation: each session's final feedback equals what its own click
+	// produced — nothing leaked in from the other 15 sessions.
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("user-%d", i)
+		var st core.Stats
+		resp := getJSON(t, ts.URL+"/sessions/"+id+"/stats", &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s stats: %d", id, resp.StatusCode)
+		}
+		if st.Feedback != clicked[i] {
+			t.Errorf("%s Feedback = %d, want %d (cross-session leakage?)", id, st.Feedback, clicked[i])
+		}
 	}
 }
 
-// TestConcurrentRequests exercises the mutex: hammer the server from
-// several goroutines; run with -race.
-func TestConcurrentRequests(t *testing.T) {
+// TestConcurrentSameSessionOverHTTP hammers one session from several
+// goroutines; the per-session mutex must serialize them. Run with -race.
+func TestConcurrentSameSessionOverHTTP(t *testing.T) {
 	_, ts := testServer(t)
-	getJSON(t, ts.URL+"/recommend", nil)
+	getJSON(t, ts.URL+"/sessions/shared/recommend", nil)
 	done := make(chan error, 8)
 	for i := 0; i < 8; i++ {
 		go func(i int) {
@@ -211,15 +439,27 @@ func TestConcurrentRequests(t *testing.T) {
 			for j := 0; j < 5; j++ {
 				switch (i + j) % 3 {
 				case 0:
-					_, err = http.Get(ts.URL + "/recommend")
+					var resp *http.Response
+					resp, err = http.Get(ts.URL + "/sessions/shared/recommend")
+					if resp != nil {
+						resp.Body.Close()
+					}
 				case 1:
-					_, err = http.Get(ts.URL + "/stats")
+					var resp *http.Response
+					resp, err = http.Get(ts.URL + "/sessions/shared/stats")
+					if resp != nil {
+						resp.Body.Close()
+					}
 				default:
 					b, _ := json.Marshal(FeedbackRequest{
 						Winner: []int{i % 10, 10 + j},
 						Loser:  []int{20 + (i+j)%10},
 					})
-					_, err = http.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(b))
+					var resp *http.Response
+					resp, err = http.Post(ts.URL+"/sessions/shared/feedback", "application/json", bytes.NewReader(b))
+					if resp != nil {
+						resp.Body.Close()
+					}
 				}
 				if err != nil {
 					err = fmt.Errorf("worker %d op %d: %w", i, j, err)
@@ -232,5 +472,33 @@ func TestConcurrentRequests(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestSnapshotRestoreExceedsClickCap: a snapshot body is allowed to be
+// larger than the click/feedback cap — the server must accept what its own
+// GET snapshot emits.
+func TestSnapshotRestoreExceedsClickCap(t *testing.T) {
+	_, ts := testServerWith(t, 8, nil, Options{MaxBodyBytes: 2048})
+	getJSON(t, ts.URL+"/sessions/a/recommend", nil) // draw the 80-sample pool
+	resp, err := http.Get(ts.URL + "/sessions/a/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) <= 2048 {
+		t.Fatalf("precondition: snapshot only %d bytes, grow the pool", len(raw))
+	}
+	r2, err := http.Post(ts.URL+"/sessions/b/snapshot", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNoContent {
+		t.Fatalf("restore of own snapshot rejected: %d", r2.StatusCode)
 	}
 }

@@ -1,0 +1,366 @@
+// Package session manages many concurrent elicitation sessions in one
+// process — the serving layer between the paper's per-user engine (§2.2)
+// and the HTTP front end. A Manager holds per-session core.Engine
+// instances keyed by session ID, lazily created from one shared immutable
+// feature.Space/search.Index (built once per catalogue), serialized by
+// per-session mutexes rather than a global lock, bounded by an LRU with
+// snapshot-on-evict and restore-on-miss through a Store.
+//
+// Locking protocol: the manager mutex guards only O(1) bookkeeping (the
+// ID table, the LRU list, counters) and is never held across engine work
+// or store I/O. Engine work runs under the session's own mutex, so
+// different sessions recommend and learn fully in parallel. An evicted
+// session stays in the table until its snapshot is durably saved, which
+// makes evict-save and miss-restore of the same ID strictly ordered.
+package session
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"toppkg/internal/core"
+)
+
+// DefaultCapacity bounds resident sessions when Config.Capacity is zero.
+const DefaultCapacity = 1024
+
+// Config configures a Manager.
+type Config struct {
+	// Shared is the catalogue-wide engine factory (required).
+	Shared *core.Shared
+	// Capacity is the maximum number of resident sessions before LRU
+	// eviction (default DefaultCapacity).
+	Capacity int
+	// Store persists evicted sessions and revives them on their next
+	// request. Nil means evicted sessions lose their learned state.
+	Store Store
+	// Seeds derives a per-session engine seed from the session ID
+	// (default SeedFor).
+	Seeds func(id string) int64
+}
+
+// Stats are the manager's cumulative counters, all monotone except Live.
+type Stats struct {
+	// Live is the number of resident sessions.
+	Live int `json:"live"`
+	// Capacity is the configured residency bound.
+	Capacity int `json:"capacity"`
+	// Created counts sessions started fresh (no snapshot found).
+	Created int64 `json:"created"`
+	// Restored counts sessions revived from a snapshot.
+	Restored int64 `json:"restored"`
+	// Evicted counts LRU evictions.
+	Evicted int64 `json:"evicted"`
+	// Hits counts operations that found their session resident.
+	Hits int64 `json:"hits"`
+	// Misses counts operations that had to create or restore.
+	Misses int64 `json:"misses"`
+	// SaveErrors counts snapshots lost because Store.Save failed.
+	SaveErrors int64 `json:"save_errors"`
+}
+
+// Manager serves many independent sessions over one shared catalogue.
+type Manager struct {
+	shared   *core.Shared
+	capacity int
+	store    Store
+	seeds    func(string) int64
+
+	mu       sync.Mutex // guards table, lru, stats; never held across engine work
+	table    map[string]*session
+	lru      *list.List // of *session; front = most recently acquired
+	created  int64
+	restored int64
+	evicted  int64
+	hits     int64
+	misses   int64
+	saveErrs int64
+}
+
+// NewManager validates cfg and returns an empty manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Shared == nil {
+		return nil, errors.New("session: Config.Shared is required")
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("session: capacity %d < 1", cfg.Capacity)
+	}
+	if cfg.Seeds == nil {
+		cfg.Seeds = SeedFor
+	}
+	return &Manager{
+		shared:   cfg.Shared,
+		capacity: cfg.Capacity,
+		store:    cfg.Store,
+		seeds:    cfg.Seeds,
+		table:    make(map[string]*session),
+		lru:      list.New(),
+	}, nil
+}
+
+// Do runs fn with exclusive access to the session's engine, creating or
+// restoring the session if it is not resident. fn must not retain the
+// engine past its return, and must not call back into the manager (the
+// session's mutex is held).
+func (m *Manager) Do(id string, fn func(*core.Engine) error) error {
+	for {
+		s, err := m.acquire(id)
+		if err != nil {
+			return err
+		}
+		if s.gone {
+			// Lost the race with an eviction or deletion between the table
+			// lookup and the session lock: the table no longer maps to s,
+			// so the next attempt creates or restores a fresh session.
+			s.mu.Unlock()
+			continue
+		}
+		err = fn(s.eng)
+		s.feedback.Store(int64(s.eng.FeedbackCount()))
+		s.mu.Unlock()
+		return err
+	}
+}
+
+// acquire returns the session for id with its mutex held. Callers must
+// check s.gone before using s.eng and must unlock s.mu.
+func (m *Manager) acquire(id string) (*session, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	m.mu.Lock()
+	if s, ok := m.table[id]; ok {
+		// MoveToFront is a no-op for a session an evictor has already
+		// unlinked; such a session is gone-flagged under its own mutex and
+		// the caller retries.
+		m.lru.MoveToFront(s.elem)
+		s.lastUsed = time.Now()
+		m.hits++
+		m.mu.Unlock()
+		s.mu.Lock()
+		return s, nil
+	}
+	// Miss: install a locked placeholder so concurrent requests for the
+	// same ID queue on it instead of racing the (possibly slow) restore.
+	s := &session{id: id, lastUsed: time.Now()}
+	s.mu.Lock() // uncontended: s is not yet published
+	s.elem = m.lru.PushFront(s)
+	m.table[id] = s
+	m.misses++
+	victims := m.unlinkVictimsLocked()
+	m.mu.Unlock()
+	for _, v := range victims {
+		m.evict(v)
+	}
+	eng, restored, err := m.newEngine(id)
+	if err != nil {
+		s.gone = true
+		m.mu.Lock()
+		if m.table[id] == s {
+			delete(m.table, id)
+		}
+		m.lru.Remove(s.elem) // no-op if an evictor already unlinked it
+		m.mu.Unlock()
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.eng = eng
+	s.feedback.Store(int64(eng.FeedbackCount()))
+	m.mu.Lock()
+	if restored {
+		m.restored++
+	} else {
+		m.created++
+	}
+	m.mu.Unlock()
+	return s, nil
+}
+
+// unlinkVictimsLocked pops LRU-back sessions beyond capacity off the list
+// while leaving them in the table; evict finishes the job after their
+// snapshots are saved. Requires m.mu.
+func (m *Manager) unlinkVictimsLocked() []*session {
+	var victims []*session
+	for m.lru.Len() > m.capacity {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		v := m.lru.Remove(back).(*session)
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+// evict snapshots v (if a store is configured) and removes it from the
+// table. The session mutex is held across the save, so operations queued
+// on v finish first and their state reaches the snapshot, and the table
+// entry outlives the save so a concurrent miss cannot load a stale file.
+func (m *Manager) evict(v *session) {
+	v.mu.Lock()
+	evicted, saveFailed := false, false
+	if !v.gone {
+		v.gone = true
+		evicted = true
+		if m.store != nil && v.eng != nil {
+			// Sessions without feedback are not worth a file: the sample
+			// pool is redrawn identically from the ID-derived seed, so
+			// restore-on-miss of an absent snapshot reproduces the same
+			// state, and skipping the save keeps a scan of random session
+			// IDs from growing the store without bound.
+			if snap := v.eng.Snapshot(); len(snap.Preferences) > 0 {
+				if err := m.store.Save(v.id, snap); err != nil {
+					saveFailed = true
+				}
+			} else if _, err := m.store.Delete(v.id); err != nil {
+				// A session reset to zero feedback must not resurrect from
+				// an older snapshot, so the stale file goes too.
+				saveFailed = true
+			}
+		}
+	}
+	m.mu.Lock()
+	if evicted {
+		m.evicted++
+	}
+	if saveFailed {
+		m.saveErrs++
+	}
+	if m.table[v.id] == v {
+		delete(m.table, v.id)
+	}
+	m.mu.Unlock()
+	v.mu.Unlock()
+}
+
+// newEngine builds the engine for a fresh session, restoring its learned
+// state from the store when a snapshot exists.
+func (m *Manager) newEngine(id string) (eng *core.Engine, restored bool, err error) {
+	eng, err = m.shared.NewEngine(m.seeds(id))
+	if err != nil {
+		return nil, false, err
+	}
+	if m.store == nil {
+		return eng, false, nil
+	}
+	snap, err := m.store.Load(id)
+	if errors.Is(err, ErrNoSnapshot) {
+		return eng, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if err := eng.Restore(snap); err != nil {
+		return nil, false, fmt.Errorf("session: restoring %q: %w", id, err)
+	}
+	return eng, true, nil
+}
+
+// Delete removes the session and its snapshot. It returns ErrNotFound if
+// the session is neither resident nor snapshotted.
+func (m *Manager) Delete(id string) error {
+	if !ValidID(id) {
+		return fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	m.mu.Lock()
+	s := m.table[id]
+	if s != nil {
+		m.lru.Remove(s.elem) // no-op if an evictor already unlinked it
+	}
+	m.mu.Unlock()
+	live, removed := false, false
+	var storeErr error
+	if s != nil {
+		// The session lock waits out any in-flight operation or eviction
+		// save, and the store delete runs under it while the table entry
+		// still exists — so a concurrent miss for this ID queues behind
+		// the lock instead of racing the file removal, and cannot restore
+		// (and later re-save) the state being deleted.
+		s.mu.Lock()
+		if !s.gone {
+			s.gone = true
+			live = true
+		}
+		if m.store != nil {
+			removed, storeErr = m.store.Delete(id)
+		}
+		m.mu.Lock()
+		if m.table[id] == s {
+			delete(m.table, id)
+		}
+		m.mu.Unlock()
+		s.mu.Unlock()
+	} else if m.store != nil {
+		removed, storeErr = m.store.Delete(id)
+	}
+	if storeErr != nil {
+		return storeErr
+	}
+	if !live && !removed {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// List describes the resident sessions, sorted by ID. It reads only the
+// manager's bookkeeping and each session's mirrored feedback counter, so
+// it never blocks behind a session's in-flight engine work.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	infos := make([]Info, 0, len(m.table))
+	for _, s := range m.table {
+		infos = append(infos, Info{
+			ID:       s.id,
+			LastUsed: s.lastUsed,
+			Feedback: int(s.feedback.Load()),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// Shutdown evicts every resident session, flushing learned state to the
+// store — the graceful-shutdown path, so state does not only survive via
+// LRU pressure. The manager remains usable (and empty) afterwards.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	var victims []*session
+	for m.lru.Len() > 0 {
+		victims = append(victims, m.lru.Remove(m.lru.Back()).(*session))
+	}
+	m.mu.Unlock()
+	for _, v := range victims {
+		m.evict(v)
+	}
+}
+
+// Len reports the number of resident sessions (including any mid-evict).
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.table)
+}
+
+// Stats returns a point-in-time copy of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Live:       len(m.table),
+		Capacity:   m.capacity,
+		Created:    m.created,
+		Restored:   m.restored,
+		Evicted:    m.evicted,
+		Hits:       m.hits,
+		Misses:     m.misses,
+		SaveErrors: m.saveErrs,
+	}
+}

@@ -1,0 +1,164 @@
+// Snapshot stores back the manager's evict/restore cycle: a session pushed
+// out of memory by the LRU is serialized through the core snapshot codec
+// and revived on its next request, so capacity bounds residency, not the
+// number of users the process can serve.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"toppkg/internal/core"
+)
+
+// ErrNoSnapshot is returned by Store.Load when no snapshot exists for the
+// session ID.
+var ErrNoSnapshot = errors.New("session: no snapshot")
+
+// Store persists evicted session state keyed by session ID. Implementations
+// must be safe for concurrent use; the manager never issues concurrent
+// calls for the same ID, but does for different IDs.
+type Store interface {
+	// Save persists the snapshot, replacing any previous one for id.
+	Save(id string, s *core.Snapshot) error
+	// Load returns the snapshot for id, or ErrNoSnapshot.
+	Load(id string) (*core.Snapshot, error)
+	// Delete removes the snapshot for id, reporting whether one existed;
+	// deleting a missing id is not an error.
+	Delete(id string) (removed bool, err error)
+}
+
+// MemStore is an in-memory Store, mainly for tests and single-process
+// deployments that want eviction without durability across restarts.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]*core.Snapshot
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string]*core.Snapshot)} }
+
+// Save implements Store. The snapshot is stored by reference; the manager
+// never mutates a snapshot after handing it over.
+func (ms *MemStore) Save(id string, s *core.Snapshot) error {
+	if s == nil {
+		return errors.New("session: nil snapshot")
+	}
+	ms.mu.Lock()
+	ms.m[id] = s
+	ms.mu.Unlock()
+	return nil
+}
+
+// Load implements Store.
+func (ms *MemStore) Load(id string) (*core.Snapshot, error) {
+	ms.mu.Lock()
+	s, ok := ms.m[id]
+	ms.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSnapshot
+	}
+	return s, nil
+}
+
+// Delete implements Store.
+func (ms *MemStore) Delete(id string) (bool, error) {
+	ms.mu.Lock()
+	_, ok := ms.m[id]
+	delete(ms.m, id)
+	ms.mu.Unlock()
+	return ok, nil
+}
+
+// Len reports how many snapshots the store holds.
+func (ms *MemStore) Len() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return len(ms.m)
+}
+
+// DirStore persists one JSON snapshot file per session under a directory.
+// IDs are validated against ValidID before touching the filesystem, so a
+// session ID can never escape the directory.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates the directory if needed and returns a store over it.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("session: snapshot dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (ds *DirStore) path(id string) (string, error) {
+	if !ValidID(id) {
+		return "", fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	return filepath.Join(ds.dir, id+".json"), nil
+}
+
+// Save implements Store, writing atomically (temp file + rename) so a
+// crash mid-write never leaves a truncated snapshot.
+func (ds *DirStore) Save(id string, s *core.Snapshot) error {
+	p, err := ds.path(id)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(ds.dir, "."+id+".tmp*")
+	if err != nil {
+		return fmt.Errorf("session: snapshot save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := core.WriteSnapshot(tmp, s); err != nil {
+		tmp.Close()
+		return fmt.Errorf("session: snapshot save %s: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("session: snapshot save %s: %w", id, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("session: snapshot save %s: %w", id, err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (ds *DirStore) Load(id string) (*core.Snapshot, error) {
+	p, err := ds.path(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoSnapshot
+	}
+	if err != nil {
+		return nil, fmt.Errorf("session: snapshot load %s: %w", id, err)
+	}
+	defer f.Close()
+	s, err := core.ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("session: snapshot load %s: %w", id, err)
+	}
+	return s, nil
+}
+
+// Delete implements Store.
+func (ds *DirStore) Delete(id string) (bool, error) {
+	p, err := ds.path(id)
+	if err != nil {
+		return false, err
+	}
+	if err := os.Remove(p); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("session: snapshot delete %s: %w", id, err)
+	}
+	return true, nil
+}
