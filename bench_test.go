@@ -321,34 +321,108 @@ func diffVec(a, b []float64) []float64 {
 
 // --- Figure 8: one full recommend+click elicitation round on NBA. ---
 
-func BenchmarkFig8ElicitationRound(b *testing.B) {
-	rng := rand.New(rand.NewSource(11))
+// fig8Engine builds the Figure-8 serving engine; cacheSize -1 is the
+// pre-batching baseline, 0 the cached pipeline default.
+func fig8Engine(b *testing.B, rng *rand.Rand, cacheSize int) *core.Engine {
+	b.Helper()
 	items := dataset.NBASelect(dataset.NBA(rng), 5)
 	eng, err := core.New(core.Config{
-		Items:          items,
-		Profile:        benchProfile(5),
-		MaxPackageSize: 5,
-		K:              5,
-		RandomCount:    5,
-		SampleCount:    200,
-		Seed:           12,
-		Parallelism:    -1,
-		Search:         search.Options{MaxQueue: 64, MaxAccessed: 300},
+		Items:           items,
+		Profile:         benchProfile(5),
+		MaxPackageSize:  5,
+		K:               5,
+		RandomCount:     5,
+		SampleCount:     200,
+		Seed:            12,
+		Parallelism:     -1,
+		Search:          search.Options{MaxQueue: 64, MaxAccessed: 300},
+		SearchCacheSize: cacheSize,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	user := simulate.NewRandomUser(eng.Space().Profile, rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		slate, err := eng.Recommend()
-		if err != nil {
-			b.Fatal(err)
-		}
-		pick := user.Choose(eng.Space(), slate.All, rng)
-		if err := eng.Click(slate.All[pick], slate.All); err != nil {
-			b.Fatal(err)
-		}
+	return eng
+}
+
+// reportPipelineMetrics attaches the batching counters the BENCH_*.json
+// trajectory tracks: cache hits and searches per op, and the dedup ratio.
+// base is the counter snapshot taken before the timed loop, so untimed
+// warm-up rounds do not skew the per-op numbers.
+func reportPipelineMetrics(b *testing.B, eng *core.Engine, base core.Stats) {
+	st := eng.Stats()
+	samples := st.RankSamples - base.RankSamples
+	if samples == 0 {
+		return
+	}
+	b.ReportMetric(float64(st.RankCacheHits-base.RankCacheHits)/float64(b.N), "hits/op")
+	b.ReportMetric(float64(st.RankSearches-base.RankSearches)/float64(b.N), "searches/op")
+	distinct := st.RankDistinct - base.RankDistinct
+	b.ReportMetric(float64(samples-distinct)/float64(samples), "dedup")
+}
+
+var fig8Variants = []struct {
+	name      string
+	cacheSize int
+}{
+	{"nocache", -1}, // baseline: every sample searched every round
+	{"cached", 0},   // batched pipeline: dedup + shared result cache
+}
+
+func BenchmarkFig8ElicitationRound(b *testing.B) {
+	for _, tc := range fig8Variants {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			eng := fig8Engine(b, rng, tc.cacheSize)
+			user := simulate.NewRandomUser(eng.Space().Profile, rng)
+			base := eng.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				slate, err := eng.Recommend()
+				if err != nil {
+					b.Fatal(err)
+				}
+				pick := user.Choose(eng.Space(), slate.All, rng)
+				if err := eng.Click(slate.All[pick], slate.All); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPipelineMetrics(b, eng, base)
+		})
+	}
+}
+
+// BenchmarkFig8PostFeedbackRecommend isolates the batching PR's acceptance
+// metric: the cost of re-running Recommend after a feedback round, when
+// most pool samples survived and (in the cached variant) reuse last
+// round's packages. The click that invalidates part of the pool runs
+// outside the timer.
+func BenchmarkFig8PostFeedbackRecommend(b *testing.B) {
+	for _, tc := range fig8Variants {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			eng := fig8Engine(b, rng, tc.cacheSize)
+			user := simulate.NewRandomUser(eng.Space().Profile, rng)
+			// Warm-up round: draw the pool and learn one click.
+			slate, err := eng.Recommend()
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := eng.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pick := user.Choose(eng.Space(), slate.All, rng)
+				if err := eng.Click(slate.All[pick], slate.All); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				slate, err = eng.Recommend()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPipelineMetrics(b, eng, base)
+		})
 	}
 }
 

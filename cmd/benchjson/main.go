@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// committed JSON trajectory file (BENCH_*.json): ns/op plus every custom
+// metric the benchmarks report (cache hits/op, searches/op, dedup ratio,
+// B/op, allocs/op), and baseline-vs-after comparisons for benchmarks that
+// expose nocache/cached variants. Future PRs are judged against these
+// numbers, so the file is the PR's performance evidence.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fig6TopKPkg|Fig8' -benchmem . | benchjson -out BENCH_recommend.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Comparison pairs a benchmark's nocache baseline with its cached variant.
+type Comparison struct {
+	Name             string  `json:"name"`
+	BaselineNsPerOp  float64 `json:"baseline_ns_per_op"`
+	AfterNsPerOp     float64 `json:"after_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	BaselineSearches float64 `json:"baseline_searches_per_op,omitempty"`
+	AfterSearches    float64 `json:"after_searches_per_op,omitempty"`
+	AfterHitsPerOp   float64 `json:"after_hits_per_op,omitempty"`
+	DedupRatio       float64 `json:"dedup_ratio,omitempty"`
+}
+
+// Report is the file layout.
+type Report struct {
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go_version"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Comparisons derive from <name>/nocache vs <name>/cached pairs; the
+	// speedup is baseline ns/op divided by after ns/op.
+	Comparisons []Comparison `json:"comparisons,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFig8ElicitationRound/cached-4   20  262562438 ns/op  125.0 hits/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.eE+]+) ns/op(.*)$`)
+
+// metricPair matches the trailing "<value> <unit>" metric pairs.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+) (\S+)`)
+
+// parse consumes bench output and returns the results plus the cpu line.
+func parse(lines []string) (benches []Benchmark, cpu string) {
+	for _, line := range lines {
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, mp := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			if v, err := strconv.ParseFloat(mp[1], 64); err == nil {
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[mp[2]] = v
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches, cpu
+}
+
+// compare pairs */nocache with */cached results.
+func compare(benches []Benchmark) []Comparison {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []Comparison
+	for _, b := range benches {
+		parent, ok := strings.CutSuffix(b.Name, "/nocache")
+		if !ok {
+			continue
+		}
+		after, ok := byName[parent+"/cached"]
+		if !ok {
+			continue
+		}
+		c := Comparison{
+			Name:            parent,
+			BaselineNsPerOp: b.NsPerOp,
+			AfterNsPerOp:    after.NsPerOp,
+		}
+		if after.NsPerOp > 0 {
+			c.Speedup = b.NsPerOp / after.NsPerOp
+		}
+		c.BaselineSearches = b.Metrics["searches/op"]
+		c.AfterSearches = after.Metrics["searches/op"]
+		c.AfterHitsPerOp = after.Metrics["hits/op"]
+		c.DedupRatio = after.Metrics["dedup"]
+		out = append(out, c)
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	benches, cpu := parse(lines)
+	if len(benches) == 0 {
+		log.Fatal("benchjson: no benchmark lines on stdin")
+	}
+	report := Report{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		CPU:         cpu,
+		Benchmarks:  benches,
+		Comparisons: compare(benches),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, c := range report.Comparisons {
+		fmt.Fprintf(os.Stderr, "%s: %.3gms -> %.3gms (%.2fx)\n",
+			c.Name, c.BaselineNsPerOp/1e6, c.AfterNsPerOp/1e6, c.Speedup)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+var sample = []string{
+	"goos: linux",
+	"goarch: amd64",
+	"pkg: toppkg",
+	"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+	"BenchmarkFig6TopKPkg/uni-4         \t     100\t  12345678 ns/op\t 2048 B/op\t      12 allocs/op",
+	"BenchmarkFig8PostFeedbackRecommend/nocache-4 \t      20\t2009556786 ns/op\t         0.2310 dedup\t         0 hits/op\t       161.5 searches/op",
+	"BenchmarkFig8PostFeedbackRecommend/cached-4  \t      20\t 262562438 ns/op\t         0.2310 dedup\t       125.0 hits/op\t        36.45 searches/op",
+	"PASS",
+	"ok  \ttoppkg\t51.485s",
+}
+
+func TestParse(t *testing.T) {
+	benches, cpu := parse(sample)
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "Fig6TopKPkg/uni" || b.Iterations != 100 || b.NsPerOp != 12345678 {
+		t.Errorf("first bench: %+v", b)
+	}
+	if b.Metrics["B/op"] != 2048 || b.Metrics["allocs/op"] != 12 {
+		t.Errorf("benchmem metrics: %+v", b.Metrics)
+	}
+	if got := benches[2].Metrics["hits/op"]; got != 125 {
+		t.Errorf("hits/op = %g", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	benches, _ := parse(sample)
+	cs := compare(benches)
+	if len(cs) != 1 {
+		t.Fatalf("got %d comparisons, want 1", len(cs))
+	}
+	c := cs[0]
+	if c.Name != "Fig8PostFeedbackRecommend" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if math.Abs(c.Speedup-2009556786.0/262562438.0) > 1e-9 {
+		t.Errorf("speedup = %g", c.Speedup)
+	}
+	if c.AfterHitsPerOp != 125 || c.BaselineSearches != 161.5 || c.DedupRatio != 0.231 {
+		t.Errorf("metrics not threaded through: %+v", c)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	benches, _ := parse([]string{"", "random text", "Benchmark bad line"})
+	if len(benches) != 0 {
+		t.Errorf("parsed garbage: %+v", benches)
+	}
+}

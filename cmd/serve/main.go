@@ -50,6 +50,10 @@ func main() {
 		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		restore  = flag.String("restore", "", "path of a session snapshot to restore into the default session")
 		seed     = flag.Int64("seed", 1, "random seed")
+		cache    = flag.Int("cache", ranking.DefaultCacheSize, "shared Top-k-Pkg result cache entries (negative disables)")
+		quantum  = flag.Float64("quantum", 0, "weight quantization step for dedup/caching (0 = exact, bit-identical slates)")
+		par      = flag.Int("parallelism", -1, "per-sample search workers per recommend (negative = GOMAXPROCS)")
+		evictW   = flag.Int("evict-workers", session.DefaultEvictWorkers, "background snapshot writers for eviction (negative = evict synchronously)")
 	)
 	flag.Parse()
 
@@ -67,16 +71,24 @@ func main() {
 	for i := range aggs {
 		aggs[i] = cycle[i%len(cycle)]
 	}
+	cacheSize := *cache
+	if cacheSize == 0 {
+		// core treats 0 as "default size"; map an explicit -cache 0 to the
+		// smallest real cache instead of silently selecting the default.
+		cacheSize = 1
+	}
 	shared, err := core.NewShared(core.Config{
-		Items:          data,
-		Profile:        feature.SimpleProfile(aggs...),
-		MaxPackageSize: *phi,
-		K:              *k,
-		Semantics:      semantics,
-		SampleCount:    *samples,
-		Seed:           *seed,
-		Parallelism:    -1,
-		Search:         search.Options{MaxQueue: 128, MaxAccessed: 500},
+		Items:           data,
+		Profile:         feature.SimpleProfile(aggs...),
+		MaxPackageSize:  *phi,
+		K:               *k,
+		Semantics:       semantics,
+		SampleCount:     *samples,
+		Seed:            *seed,
+		Parallelism:     *par,
+		Search:          search.Options{MaxQueue: 128, MaxAccessed: 500},
+		SearchCacheSize: cacheSize,
+		WeightQuantum:   *quantum,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -88,7 +100,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: *capacity, Store: store})
+	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: *capacity, Store: store, EvictWorkers: *evictW})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,6 +138,7 @@ func main() {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 		mgr.Shutdown()
+		mgr.Close()
 	}()
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)

@@ -93,6 +93,19 @@ type Config struct {
 	// Parallelism is the worker count for per-sample searches during
 	// ranking (0/1 sequential, negative = GOMAXPROCS).
 	Parallelism int
+	// SearchCacheSize bounds the per-catalogue Top-k-Pkg result cache
+	// shared by every engine derived from one Shared (0 selects
+	// ranking.DefaultCacheSize; negative disables caching). Caching is
+	// sound because a per-sample result depends only on the immutable
+	// index, the weight vector, and the search options — feedback changes
+	// which samples are in the pool, not what any vector's top-k is — so
+	// samples surviving a feedback round reuse last round's packages.
+	SearchCacheSize int
+	// WeightQuantum quantizes sample weight vectors before the per-sample
+	// search (see ranking.Options.Quantum). 0 keeps slates bit-identical
+	// to the unbatched path; > 0 trades exactness for more dedup/cache
+	// hits.
+	WeightQuantum float64
 	// Seed seeds the engine's random stream (default 1).
 	Seed int64
 	// MCMC / importance tuning; zero values take the samplers' defaults.
@@ -126,6 +139,17 @@ type Stats struct {
 	MaintenanceWork int
 	// SampleAttempts accumulates raw sampler draws.
 	SampleAttempts int
+	// RankSamples, RankDistinct, RankCacheHits, and RankSearches
+	// accumulate the Recommend pipeline's batching counters across rounds:
+	// weight vectors ranked, distinct vectors left after
+	// canonicalization/dedup, distinct vectors served from the shared
+	// result cache, and Top-k-Pkg runs actually executed. The dedup ratio
+	// is (RankSamples−RankDistinct)/RankSamples; the cache hit rate is
+	// RankCacheHits/RankDistinct.
+	RankSamples   int
+	RankDistinct  int
+	RankCacheHits int
+	RankSearches  int
 }
 
 // Slate is one screenful of packages presented to the user: the system's
@@ -145,6 +169,7 @@ type Engine struct {
 	cfg   Config
 	space *feature.Space
 	ix    *search.Index
+	cache *ranking.Cache // shared per-catalogue result cache; nil = disabled
 	rng   *rand.Rand
 	graph *prefgraph.Graph
 	pool  *maintain.Pool
@@ -161,6 +186,7 @@ type Shared struct {
 	cfg   Config
 	space *feature.Space
 	ix    *search.Index
+	cache *ranking.Cache
 }
 
 // NewShared validates cfg, applies the paper's defaults, and builds the
@@ -206,7 +232,11 @@ func NewShared(cfg Config) (*Shared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Shared{cfg: cfg, space: space, ix: search.NewIndex(space)}, nil
+	var cache *ranking.Cache
+	if cfg.SearchCacheSize >= 0 {
+		cache = ranking.NewCache(cfg.SearchCacheSize)
+	}
+	return &Shared{cfg: cfg, space: space, ix: search.NewIndex(space), cache: cache}, nil
 }
 
 // Space exposes the shared feature space.
@@ -214,6 +244,20 @@ func (sh *Shared) Space() *feature.Space { return sh.space }
 
 // Index exposes the shared search index (safe for concurrent TopK runs).
 func (sh *Shared) Index() *search.Index { return sh.ix }
+
+// SearchCache exposes the shared per-catalogue result cache (nil when the
+// config disabled caching). Safe for concurrent use; see ranking.Cache.
+func (sh *Shared) SearchCache() *ranking.Cache { return sh.cache }
+
+// InvalidateSearchCache drops every cached Top-k-Pkg result and advances
+// the cache epoch. Results depend only on the immutable index, so the only
+// reason to call this is replacing the catalogue behind a rebuilt Shared's
+// back — it exists as the safety valve for such surgery and for tests.
+func (sh *Shared) InvalidateSearchCache() {
+	if sh.cache != nil {
+		sh.cache.Invalidate()
+	}
+}
 
 // NewEngine derives an independent engine over the shared space and index:
 // its own random stream, preference graph, and sample pool. seed
@@ -235,6 +279,7 @@ func (sh *Shared) NewEngine(seed int64) (*Engine, error) {
 		cfg:   cfg,
 		space: sh.space,
 		ix:    sh.ix,
+		cache: sh.cache,
 		rng:   rng,
 		graph: prefgraph.New(),
 	}, nil
@@ -354,17 +399,29 @@ func (e *Engine) Samples() ([]sampling.Sample, error) {
 func (e *Engine) InvalidateSamples() { e.pool = nil }
 
 // Recommend assembles a slate: the top-K packages under the configured
-// semantics plus RandomCount random exploration packages.
+// semantics plus RandomCount random exploration packages. Per-sample
+// searches run through the batched pipeline — duplicate weight vectors are
+// searched once, vectors seen in an earlier round are served from the
+// shared result cache, and the remainder is sharded across
+// Config.Parallelism workers (see Stats' Rank* counters).
 func (e *Engine) Recommend() (*Slate, error) {
 	if err := e.ensureSamples(); err != nil {
 		return nil, err
 	}
+	var m ranking.Metrics
 	ranked, err := ranking.Rank(e.ix, e.pool.Samples, e.cfg.Semantics, ranking.Options{
 		K:           e.cfg.K,
 		Sigma:       e.cfg.Sigma,
 		Parallelism: e.cfg.Parallelism,
 		Search:      e.cfg.Search,
+		Quantum:     e.cfg.WeightQuantum,
+		Cache:       e.cache,
+		Metrics:     &m,
 	})
+	e.stats.RankSamples += m.Samples
+	e.stats.RankDistinct += m.Distinct
+	e.stats.RankCacheHits += m.CacheHits
+	e.stats.RankSearches += m.Searches
 	if err != nil {
 		return nil, fmt.Errorf("core: ranking: %w", err)
 	}

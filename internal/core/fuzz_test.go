@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSnapshot is the armor on the session-restore path: a corrupted
+// snapshot file must never panic the server — ReadSnapshot either returns
+// an error or a snapshot that survives a Write/Read round trip unchanged.
+// The seed corpus under testdata/fuzz/FuzzReadSnapshot is committed; CI
+// runs a short -fuzz smoke on top of the regression seeds.
+func FuzzReadSnapshot(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"version":1,"samples":[[0.5]],"weights":[]}`))
+	f.Add([]byte(`{"version":1,"preferences":[{"winner":[0],"loser":[1]}],"samples":[[0.1,0.2]],"weights":[1]}`))
+	f.Add([]byte(`{"version":1,"samples":[[1e308,-1e308]],"weights":[0]}`))
+	f.Add([]byte(`{"version":1,"stats":{"Feedback":-1}}`))
+	f.Add([]byte("\x00\x01\x02garbage"))
+	f.Add([]byte(`{"version":1,"samples":` + strings.Repeat("[", 64) + strings.Repeat("]", 64) + `}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly: that is the contract
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, s); err != nil {
+			t.Fatalf("accepted snapshot failed to encode: %v", err)
+		}
+		s2, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q", err, data)
+		}
+		j1, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("round trip changed the snapshot:\nbefore %s\nafter  %s", j1, j2)
+		}
+	})
+}
+
+// TestRestoreRejectsHostileSnapshots: snapshots that decode fine but do
+// not fit the engine's space must error out of Restore, never panic —
+// this is what stands between a corrupted store file and a crashed
+// serving process.
+func TestRestoreRejectsHostileSnapshots(t *testing.T) {
+	eng := persistEngine(t) // 2-dim space over 30 items
+	for name, snap := range map[string]*Snapshot{
+		"nil":            nil,
+		"wrong version":  {Version: 99},
+		"dim mismatch":   {Version: 1, Samples: [][]float64{{1, 2, 3}}, Weights: []float64{1}},
+		"count mismatch": {Version: 1, Samples: [][]float64{{1, 2}}, Weights: nil},
+		"bad item id":    {Version: 1, Preferences: []PreferencePair{{Winner: []int{10000}, Loser: []int{0}}}},
+		"negative id":    {Version: 1, Preferences: []PreferencePair{{Winner: []int{-1}, Loser: []int{0}}}},
+		"empty package":  {Version: 1, Preferences: []PreferencePair{{Winner: nil, Loser: []int{0}}}},
+		"self loop":      {Version: 1, Preferences: []PreferencePair{{Winner: []int{0}, Loser: []int{0}}}},
+	} {
+		if err := eng.Restore(snap); err == nil {
+			t.Errorf("%s: hostile snapshot accepted", name)
+		}
+	}
+}

@@ -85,6 +85,12 @@ func (e *Engine) Restore(s *Snapshot) error {
 	}
 	g := prefgraph.New()
 	for i, pr := range s.Preferences {
+		if len(pr.Winner) == 0 || len(pr.Loser) == 0 {
+			// No interaction can produce a preference over the empty
+			// package (Top-k-Pkg never returns ∅), so such a snapshot is
+			// corrupt or hand-crafted.
+			return fmt.Errorf("core: snapshot preference %d: empty package", i)
+		}
 		winner := pkgspace.New(pr.Winner...)
 		loser := pkgspace.New(pr.Loser...)
 		wv, err := e.PackageVector(winner)

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/ranking"
+	"toppkg/internal/search"
+)
+
+func pipelineConfig(t *testing.T, sem ranking.Semantics, cacheSize, parallelism int, seed int64) Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	return Config{
+		Items:           dataset.UNI(24, 2, rng),
+		Profile:         feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize:  3,
+		K:               3,
+		RandomCount:     2,
+		Semantics:       sem,
+		SampleCount:     30,
+		Seed:            seed,
+		Parallelism:     parallelism,
+		SearchCacheSize: cacheSize,
+		Search:          search.Options{MaxQueue: 32, MaxAccessed: 100},
+	}
+}
+
+func recommendedKey(s *Slate) string {
+	out := ""
+	for _, r := range s.Recommended {
+		out += fmt.Sprintf("%s=%.17g;", r.Pkg.Signature(), r.Score)
+	}
+	return out
+}
+
+func slateKey(s *Slate) string {
+	out := recommendedKey(s) + "|"
+	for _, p := range s.Random {
+		out += p.Signature() + ";"
+	}
+	return out
+}
+
+// TestRecommendCachedMatchesUncached drives a cached+parallel engine and an
+// uncached sequential engine through identical elicitation rounds: every
+// slate must be bit-identical — the engine-level face of the ranking
+// oracle property (Quantum 0 keeps the pipeline exact).
+func TestRecommendCachedMatchesUncached(t *testing.T) {
+	for _, sem := range []ranking.Semantics{ranking.EXP, ranking.TKP, ranking.MPO} {
+		for seed := int64(1); seed <= 6; seed++ {
+			plain, err := New(pipelineConfig(t, sem, -1, 0, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := New(pipelineConfig(t, sem, 0, 3, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 4; round++ {
+				ps, err := plain.Recommend()
+				if err != nil {
+					t.Fatalf("%v seed %d round %d: plain: %v", sem, seed, round, err)
+				}
+				cs, err := cached.Recommend()
+				if err != nil {
+					t.Fatalf("%v seed %d round %d: cached: %v", sem, seed, round, err)
+				}
+				if slateKey(ps) != slateKey(cs) {
+					t.Fatalf("%v seed %d round %d: slates differ:\nplain  %s\ncached %s",
+						sem, seed, round, slateKey(ps), slateKey(cs))
+				}
+				pick := (round * 7) % len(ps.All)
+				if err := plain.Click(ps.All[pick], ps.All); err != nil {
+					t.Fatal(err)
+				}
+				if err := cached.Click(cs.All[pick], cs.All); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := cached.Stats()
+			if st.RankSamples == 0 || st.RankDistinct == 0 {
+				t.Errorf("%v seed %d: pipeline counters not populated: %+v", sem, seed, st)
+			}
+			if st.RankCacheHits == 0 {
+				t.Errorf("%v seed %d: no cache hits across 4 rounds: %+v", sem, seed, st)
+			}
+			if st.RankSearches+st.RankCacheHits != st.RankDistinct {
+				t.Errorf("%v seed %d: searches %d + hits %d != distinct %d",
+					sem, seed, st.RankSearches, st.RankCacheHits, st.RankDistinct)
+			}
+			if ps := plain.Stats(); ps.RankCacheHits != 0 || ps.RankSearches != ps.RankDistinct {
+				t.Errorf("%v seed %d: uncached engine hit a cache: %+v", sem, seed, ps)
+			}
+		}
+	}
+}
+
+// TestSharedCacheInvalidateKeepsServing: invalidation mid-flight only
+// costs re-searches, it never changes results.
+func TestSharedCacheInvalidateKeepsServing(t *testing.T) {
+	sh, err := NewShared(pipelineConfig(t, ranking.EXP, 0, 0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sh.NewEngine(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.InvalidateSearchCache()
+	s2, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exploration randoms advance the engine's rng each round; only the
+	// ranked half is cache-dependent and must be unchanged.
+	if recommendedKey(s1) != recommendedKey(s2) {
+		t.Error("invalidation changed an unchanged engine's ranked slate")
+	}
+	if hits := eng.Stats().RankCacheHits; hits != 0 {
+		t.Errorf("post-invalidate round hit stale entries: %d", hits)
+	}
+	if sh.SearchCache().Stats().Epoch != 1 {
+		t.Errorf("epoch = %d", sh.SearchCache().Stats().Epoch)
+	}
+}
+
+// TestConcurrentRecommendSharedIndex runs many engines over one shared
+// index and result cache from parallel goroutines (run with -race), then
+// replays each session in isolation with caching disabled: concurrent
+// cross-session cache sharing must not change anyone's slates.
+func TestConcurrentRecommendSharedIndex(t *testing.T) {
+	const sessions = 8
+	sh, err := NewShared(pipelineConfig(t, ranking.EXP, 0, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := make([]string, sessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, err := sh.NewEngine(int64(100 + i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var slate *Slate
+			for round := 0; round < 3; round++ {
+				slate, err = eng.Recommend()
+				if err != nil {
+					errs <- fmt.Errorf("session %d round %d: %w", i, round, err)
+					return
+				}
+				if round < 2 {
+					if err := eng.Click(slate.All[(i+round)%len(slate.All)], slate.All); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			finals[i] = slateKey(slate)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Isolated replay: same seeds, no cache, sequential.
+	cfg := pipelineConfig(t, ranking.EXP, -1, 0, 1)
+	for i := 0; i < sessions; i++ {
+		shp, err := NewShared(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := shp.NewEngine(int64(100 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var slate *Slate
+		for round := 0; round < 3; round++ {
+			slate, err = eng.Recommend()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round < 2 {
+				if err := eng.Click(slate.All[(i+round)%len(slate.All)], slate.All); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if finals[i] != slateKey(slate) {
+			t.Errorf("session %d: concurrent shared-cache slate differs from isolated replay:\nshared   %s\nisolated %s",
+				i, finals[i], slateKey(slate))
+		}
+	}
+}
+
+// TestRestoredEngineReusesCache: restoring a snapshot replaces the pool
+// but not the index, so the shared cache keeps serving the surviving
+// vectors.
+func TestRestoredEngineReusesCache(t *testing.T) {
+	sh, err := NewShared(pipelineConfig(t, ranking.EXP, 0, 0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sh.NewEngine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	fresh, err := sh.NewEngine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+	st := fresh.Stats()
+	if st.RankCacheHits == 0 {
+		t.Errorf("restored engine re-searched everything: %+v", st)
+	}
+}

@@ -1,0 +1,210 @@
+// The batched per-sample execution pipeline behind Rank: sample weight
+// vectors are canonicalized (optionally quantized), deduplicated so each
+// distinct vector runs Top-k-Pkg once, probed against the result cache,
+// and only the surviving searches are sharded across a bounded worker
+// pool. Results fan back out to every duplicate, and aggregation runs in
+// sample order, so the final slate is deterministic regardless of
+// parallelism. The elicitation loop re-ranks the whole pool every round
+// even though feedback invalidates only a fraction of samples and many
+// survivors induce identical top-k lists; this pipeline makes both kinds
+// of redundancy free.
+package ranking
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"toppkg/internal/feature"
+	"toppkg/internal/sampling"
+	"toppkg/internal/search"
+)
+
+// Metrics reports what the batched pipeline did during one Rank call.
+type Metrics struct {
+	// Samples is the number of weight vectors ranked.
+	Samples int
+	// Distinct is the number of distinct canonical vectors after
+	// quantization and dedup; every duplicate rides along for free.
+	Distinct int
+	// CacheHits is how many distinct vectors were served from the cache.
+	CacheHits int
+	// Searches is how many Top-k-Pkg runs actually executed.
+	Searches int
+}
+
+// DedupRatio is the fraction of samples whose search was shared with an
+// identical sample in the same call.
+func (m Metrics) DedupRatio() float64 {
+	if m.Samples == 0 {
+		return 0
+	}
+	return float64(m.Samples-m.Distinct) / float64(m.Samples)
+}
+
+// HitRate is the fraction of distinct vectors served from the cache.
+func (m Metrics) HitRate() float64 {
+	if m.Distinct == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(m.Distinct)
+}
+
+// Canonical maps a weight vector to its canonical form: each coordinate
+// rounded to the nearest multiple of quantum. quantum <= 0 is the identity
+// (only bit-identical vectors collapse). The search runs on the canonical
+// vector, so every vector mapping to one canonical form shares one
+// bit-identical result.
+func Canonical(w []float64, quantum float64) []float64 {
+	if quantum <= 0 {
+		return w
+	}
+	out := make([]float64, len(w))
+	for i, v := range w {
+		out[i] = math.Round(v/quantum) * quantum
+	}
+	return out
+}
+
+// WeightKey encodes a weight vector byte-exactly (IEEE-754 bits, with -0
+// folded into +0 — the search treats them identically).
+func WeightKey(w []float64) string {
+	b := make([]byte, 8*len(w))
+	for i, v := range w {
+		if v == 0 {
+			v = 0 // fold -0 into +0
+		}
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// groupResults produces the per-sample search results for Rank through the
+// batched pipeline, returning them indexed like samples. opts.Metrics, when
+// non-nil, is overwritten with this call's counters.
+func groupResults(ix *search.Index, profile *feature.Profile, samples []sampling.Sample, so search.Options, opts Options) ([]search.Result, error) {
+	m := opts.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+	*m = Metrics{Samples: len(samples)}
+
+	// Canonicalize and dedup: groupOf[i] is sample i's group, reps[g] the
+	// canonical vector searched for group g.
+	groupOf := make([]int, len(samples))
+	var reps [][]float64
+	var keys []string
+	index := make(map[string]int, len(samples))
+	for i := range samples {
+		cw := Canonical(samples[i].W, opts.Quantum)
+		k := WeightKey(cw)
+		g, ok := index[k]
+		if !ok {
+			g = len(reps)
+			index[k] = g
+			reps = append(reps, cw)
+			keys = append(keys, k)
+		}
+		groupOf[i] = g
+	}
+	m.Distinct = len(reps)
+
+	// Probe the cache; only missing groups go to the workers.
+	results := make([]search.Result, len(reps))
+	todo := make([]int, 0, len(reps))
+	cache := opts.Cache
+	var keyPrefix string
+	if cache != nil {
+		optsKey, keyable := so.CacheKey()
+		if !keyable {
+			cache = nil // predicate options: results must not be reused
+		} else {
+			var ep [8]byte
+			binary.LittleEndian.PutUint64(ep[:], cache.Epoch())
+			keyPrefix = string(ep[:]) + optsKey + "|"
+		}
+	}
+	for g := range reps {
+		if cache != nil {
+			if res, ok := cache.Get(keyPrefix + keys[g]); ok {
+				results[g] = res
+				m.CacheHits++
+				continue
+			}
+		}
+		todo = append(todo, g)
+	}
+	m.Searches = len(todo)
+
+	if err := runSearches(ix, profile, reps, todo, results, so, opts.Parallelism); err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		for _, g := range todo {
+			cache.Put(keyPrefix+keys[g], results[g])
+		}
+	}
+
+	// Fan the group results back out to every sample.
+	out := make([]search.Result, len(samples))
+	for i, g := range groupOf {
+		out[i] = results[g]
+	}
+	return out, nil
+}
+
+// runSearches executes Top-k-Pkg for the groups listed in todo, filling
+// results[g], sequentially or across a bounded worker pool. The searches
+// are independent; callers aggregate in sample order, so results stay
+// deterministic regardless of parallelism.
+func runSearches(ix *search.Index, profile *feature.Profile, reps [][]float64, todo []int, results []search.Result, so search.Options, parallelism int) error {
+	one := func(g int) error {
+		u, err := feature.NewUtility(profile, reps[g])
+		if err != nil {
+			return err
+		}
+		results[g], err = ix.TopK(u, so)
+		return err
+	}
+	workers := parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, g := range todo {
+			if err := one(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int64 = -1
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(todo) {
+					return
+				}
+				if err := one(todo[i]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

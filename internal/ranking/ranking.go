@@ -10,13 +10,9 @@ package ranking
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
-	"toppkg/internal/feature"
 	"toppkg/internal/pkgspace"
 	"toppkg/internal/sampling"
 	"toppkg/internal/search"
@@ -89,10 +85,28 @@ type Options struct {
 	// Search configures the per-sample Top-k-Pkg runs; Search.K is set
 	// internally.
 	Search search.Options
+	// Quantum rounds each weight coordinate to its nearest multiple before
+	// the search (see Canonical), so near-identical samples collapse into
+	// one Top-k-Pkg run. 0 disables rounding: only bit-identical samples
+	// merge, keeping slates exactly equal to the unbatched path.
+	Quantum float64
+	// Cache reuses per-vector search results across Rank calls — e.g.
+	// samples that survived a feedback round reuse last round's packages.
+	// Nil disables caching (dedup within one call always happens). Search
+	// options carrying predicate functions bypass the cache; see
+	// search.Options.CacheKey.
+	Cache *Cache
+	// Metrics, when non-nil, is overwritten with the pipeline counters of
+	// this call.
+	Metrics *Metrics
 }
 
 // Rank computes the top-k packages under the given semantics from a pool of
 // weight-vector samples. Each sample contributes its importance weight.
+// Per-sample searches run through the batched pipeline (dedup → cache →
+// worker pool, see groupResults); aggregation runs in sample order, so the
+// result is deterministic regardless of Parallelism and identical to the
+// one-search-per-sample path whenever Quantum is 0.
 func Rank(ix *search.Index, samples []sampling.Sample, sem Semantics, opts Options) ([]Ranked, error) {
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("ranking: K must be positive, got %d", opts.K)
@@ -100,6 +114,16 @@ func Rank(ix *search.Index, samples []sampling.Sample, sem Semantics, opts Optio
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("ranking: no samples")
 	}
+	results, err := groupResults(ix, ix.Space().Profile, samples, searchOptions(sem, opts), opts)
+	if err != nil {
+		return nil, err
+	}
+	return aggregate(samples, results, sem, opts)
+}
+
+// searchOptions derives the concrete per-sample search options: PerSampleK
+// widens the per-sample lists beyond K when the semantics need it.
+func searchOptions(sem Semantics, opts Options) search.Options {
 	sigma := opts.Sigma
 	if sigma <= 0 {
 		sigma = opts.K
@@ -113,8 +137,16 @@ func Rank(ix *search.Index, samples []sampling.Sample, sem Semantics, opts Optio
 	}
 	so := opts.Search
 	so.K = perSample
+	return so
+}
 
-	profile := ix.Space().Profile
+// aggregate combines per-sample top-k results (indexed like samples) into
+// the final recommendation list under the given semantics.
+func aggregate(samples []sampling.Sample, results []search.Result, sem Semantics, opts Options) ([]Ranked, error) {
+	sigma := opts.Sigma
+	if sigma <= 0 {
+		sigma = opts.K
+	}
 	type acc struct {
 		pkg    pkgspace.Package
 		sumQU  float64 // Σ q·U over samples where the package appears (EXP)
@@ -124,13 +156,6 @@ func Rank(ix *search.Index, samples []sampling.Sample, sem Semantics, opts Optio
 	lists := make(map[string]*listAcc) // MPO
 	var totalQ float64
 
-	// Per-sample searches are independent; run them (optionally in
-	// parallel) and aggregate in sample order so results stay
-	// deterministic regardless of Parallelism.
-	results, err := perSampleResults(ix, profile, samples, so, opts.Parallelism)
-	if err != nil {
-		return nil, err
-	}
 	for i := range samples {
 		res := results[i]
 		q := samples[i].Q
@@ -215,64 +240,6 @@ func Rank(ix *search.Index, samples []sampling.Sample, sem Semantics, opts Optio
 		}
 		return out, nil
 	}
-}
-
-// perSampleResults runs Top-k-Pkg once per sample, sequentially or across
-// a bounded worker pool, returning results indexed like samples.
-func perSampleResults(ix *search.Index, profile *feature.Profile, samples []sampling.Sample, so search.Options, parallelism int) ([]search.Result, error) {
-	results := make([]search.Result, len(samples))
-	workers := parallelism
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(samples) {
-		workers = len(samples)
-	}
-	if workers <= 1 {
-		for i := range samples {
-			u, err := feature.NewUtility(profile, samples[i].W)
-			if err != nil {
-				return nil, err
-			}
-			res, err := ix.TopK(u, so)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = res
-		}
-		return results, nil
-	}
-	var (
-		wg       sync.WaitGroup
-		next     int64 = -1
-		firstErr error
-		errOnce  sync.Once
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(samples) {
-					return
-				}
-				u, err := feature.NewUtility(profile, samples[i].W)
-				if err == nil {
-					results[i], err = ix.TopK(u, so)
-				}
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
 }
 
 type listAcc struct {

@@ -63,6 +63,19 @@ type Options struct {
 // MaxQueue: -1.
 const DefaultMaxQueue = 512
 
+// CacheKey encodes the options canonically for result-cache keys: two
+// option sets with equal keys produce identical TopK results over the same
+// index and utility. ok is false when the options carry predicate
+// functions — closures cannot be identified across calls, so their results
+// must never be reused from a cache.
+func (o Options) CacheKey() (key string, ok bool) {
+	if o.Candidate != nil || o.Expand != nil {
+		return "", false
+	}
+	return fmt.Sprintf("k%d;ea%t;bp%t;mq%d;ma%d",
+		o.K, o.ExpandAll, o.DisableBoundPrune, o.MaxQueue, o.MaxAccessed), true
+}
+
 // Result is the outcome of a Top-k-Pkg run, with the work counters the
 // experiments report.
 type Result struct {

@@ -21,7 +21,7 @@
 //
 //	GET    /sessions                 → {"sessions": [{"id", "last_used", "feedback"}]}
 //	DELETE /sessions/{id}            → drops the session and its snapshot
-//	GET    /healthz                  → {"status": "ok", "sessions": {...}}
+//	GET    /healthz                  → {"status": "ok", "sessions": {...}, "search_cache": {...}}
 //
 // Every error is JSON: {"error": "..."} with a matching status code.
 package server
@@ -287,7 +287,11 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"status": "ok", "sessions": s.mgr.Stats()})
+	writeJSON(w, map[string]any{
+		"status":       "ok",
+		"sessions":     s.mgr.Stats(), // includes evict_queue depth
+		"search_cache": s.mgr.SearchCacheStats(),
+	})
 }
 
 // badRequest marks an error as the client's fault (400).

@@ -12,6 +12,17 @@
 // different sessions recommend and learn fully in parallel. An evicted
 // session stays in the table until its snapshot is durably saved, which
 // makes evict-save and miss-restore of the same ID strictly ordered.
+//
+// Eviction is asynchronous: the miss that pushes a victim over capacity
+// only unlinks it from the LRU and hands it to a background writer, so a
+// new session's first request is never blocked behind an unrelated
+// session's snapshot write. The ordering guarantee above is untouched —
+// the victim keeps its table entry and its own mutex until the writer has
+// saved it, so a concurrent request for the victim's ID either resumes the
+// still-resident session (and its later snapshot includes that work) or
+// queues behind the in-flight save and restores the fresh snapshot. When
+// the writer's queue is full the evicting request falls back to saving
+// synchronously (backpressure), so residency stays bounded.
 package session
 
 import (
@@ -23,10 +34,15 @@ import (
 	"time"
 
 	"toppkg/internal/core"
+	"toppkg/internal/ranking"
 )
 
 // DefaultCapacity bounds resident sessions when Config.Capacity is zero.
 const DefaultCapacity = 1024
+
+// DefaultEvictWorkers is the background snapshot-writer count when
+// Config.EvictWorkers is zero.
+const DefaultEvictWorkers = 2
 
 // Config configures a Manager.
 type Config struct {
@@ -41,6 +57,11 @@ type Config struct {
 	// Seeds derives a per-session engine seed from the session ID
 	// (default SeedFor).
 	Seeds func(id string) int64
+	// EvictWorkers is the number of background goroutines writing eviction
+	// snapshots (default DefaultEvictWorkers). Negative disables the
+	// background writer: evictions run synchronously on the requesting
+	// goroutine, the pre-async behavior.
+	EvictWorkers int
 }
 
 // Stats are the manager's cumulative counters, all monotone except Live.
@@ -61,6 +82,13 @@ type Stats struct {
 	Misses int64 `json:"misses"`
 	// SaveErrors counts snapshots lost because Store.Save failed.
 	SaveErrors int64 `json:"save_errors"`
+	// EvictQueue is the number of evictions currently queued on or being
+	// written by the background writer (not monotone).
+	EvictQueue int `json:"evict_queue"`
+	// EvictSyncFallbacks counts evictions that ran synchronously on the
+	// requesting goroutine because the writer's queue was full (or the
+	// writer is disabled/closed).
+	EvictSyncFallbacks int64 `json:"evict_sync_fallbacks"`
 }
 
 // Manager serves many independent sessions over one shared catalogue.
@@ -79,6 +107,15 @@ type Manager struct {
 	hits     int64
 	misses   int64
 	saveErrs int64
+
+	// Background eviction: victims queue on evictq; pending counts queued
+	// plus in-flight saves; evictDone signals pending reaching zero.
+	// closed stops new enqueues once the queue is closed.
+	evictq    chan *session
+	pending   int
+	evictDone *sync.Cond
+	closed    bool
+	syncFalls int64
 }
 
 // NewManager validates cfg and returns an empty manager.
@@ -95,14 +132,28 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Seeds == nil {
 		cfg.Seeds = SeedFor
 	}
-	return &Manager{
+	if cfg.EvictWorkers == 0 {
+		cfg.EvictWorkers = DefaultEvictWorkers
+	}
+	m := &Manager{
 		shared:   cfg.Shared,
 		capacity: cfg.Capacity,
 		store:    cfg.Store,
 		seeds:    cfg.Seeds,
 		table:    make(map[string]*session),
 		lru:      list.New(),
-	}, nil
+	}
+	m.evictDone = sync.NewCond(&m.mu)
+	if cfg.EvictWorkers > 0 {
+		// The queue bound matches capacity: under a miss storm faster than
+		// the writers, excess victims fall back to synchronous eviction
+		// rather than growing residency without bound.
+		m.evictq = make(chan *session, cfg.Capacity)
+		for i := 0; i < cfg.EvictWorkers; i++ {
+			go m.evictWorker()
+		}
+	}
+	return m, nil
 }
 
 // Do runs fn with exclusive access to the session's engine, creating or
@@ -156,9 +207,7 @@ func (m *Manager) acquire(id string) (*session, error) {
 	m.misses++
 	victims := m.unlinkVictimsLocked()
 	m.mu.Unlock()
-	for _, v := range victims {
-		m.evict(v)
-	}
+	m.enqueueEvicts(victims)
 	eng, restored, err := m.newEngine(id)
 	if err != nil {
 		s.gone = true
@@ -197,6 +246,70 @@ func (m *Manager) unlinkVictimsLocked() []*session {
 		victims = append(victims, v)
 	}
 	return victims
+}
+
+// enqueueEvicts hands victims to the background writer so the evicting
+// request is not blocked behind another session's snapshot write. When the
+// writer is disabled, closed, or its queue is full, the eviction runs
+// synchronously on the caller (backpressure): slower for this one request,
+// but residency stays bounded.
+func (m *Manager) enqueueEvicts(victims []*session) {
+	for _, v := range victims {
+		m.mu.Lock()
+		if m.evictq == nil || m.closed {
+			m.syncFalls++
+			m.mu.Unlock()
+			m.evict(v)
+			continue
+		}
+		select {
+		case m.evictq <- v: // non-blocking; safe under m.mu
+			m.pending++
+			m.mu.Unlock()
+		default:
+			m.syncFalls++
+			m.mu.Unlock()
+			m.evict(v)
+		}
+	}
+}
+
+// evictWorker drains the eviction queue until Close.
+func (m *Manager) evictWorker() {
+	for v := range m.evictq {
+		m.evict(v)
+		m.mu.Lock()
+		m.pending--
+		if m.pending == 0 {
+			m.evictDone.Broadcast()
+		}
+		m.mu.Unlock()
+	}
+}
+
+// Flush blocks until every eviction handed to the background writer has
+// finished saving. It does not fence evictions triggered concurrently with
+// the call; callers wanting a complete flush stop traffic first.
+func (m *Manager) Flush() {
+	m.mu.Lock()
+	for m.pending > 0 {
+		m.evictDone.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// Close drains the background writer and stops its goroutines. The manager
+// remains usable afterwards, evicting synchronously. Safe to call twice.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed || m.evictq == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.evictq) // senders hold m.mu and check closed first
+	m.mu.Unlock()
+	m.Flush()
 }
 
 // evict snapshots v (if a store is configured) and removes it from the
@@ -329,7 +442,9 @@ func (m *Manager) List() []Info {
 
 // Shutdown evicts every resident session, flushing learned state to the
 // store — the graceful-shutdown path, so state does not only survive via
-// LRU pressure. The manager remains usable (and empty) afterwards.
+// LRU pressure. It also waits out any snapshot writes still in flight on
+// the background writer. The manager remains usable (and empty)
+// afterwards.
 func (m *Manager) Shutdown() {
 	m.mu.Lock()
 	var victims []*session
@@ -340,6 +455,17 @@ func (m *Manager) Shutdown() {
 	for _, v := range victims {
 		m.evict(v)
 	}
+	m.Flush()
+}
+
+// SearchCacheStats reports the shared Top-k-Pkg result cache's counters —
+// the cache is per-catalogue, so one set of counters covers every session
+// this manager serves. Zero when the catalogue disabled caching.
+func (m *Manager) SearchCacheStats() ranking.CacheStats {
+	if c := m.shared.SearchCache(); c != nil {
+		return c.Stats()
+	}
+	return ranking.CacheStats{}
 }
 
 // Len reports the number of resident sessions (including any mid-evict).
@@ -354,13 +480,15 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Live:       len(m.table),
-		Capacity:   m.capacity,
-		Created:    m.created,
-		Restored:   m.restored,
-		Evicted:    m.evicted,
-		Hits:       m.hits,
-		Misses:     m.misses,
-		SaveErrors: m.saveErrs,
+		Live:               len(m.table),
+		Capacity:           m.capacity,
+		Created:            m.created,
+		Restored:           m.restored,
+		Evicted:            m.evicted,
+		Hits:               m.hits,
+		Misses:             m.misses,
+		SaveErrors:         m.saveErrs,
+		EvictQueue:         m.pending,
+		EvictSyncFallbacks: m.syncFalls,
 	}
 }

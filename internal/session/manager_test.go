@@ -43,6 +43,7 @@ func testManager(t *testing.T, capacity int, store Store) *Manager {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(m.Close)
 	return m
 }
 
@@ -137,6 +138,7 @@ func TestLRUEvictionWithoutStoreDropsState(t *testing.T) {
 	feedbackN(t, m, "alice", 2)
 	feedbackN(t, m, "bob", 1)
 	feedbackN(t, m, "carol", 1) // evicts alice (LRU back)
+	m.Flush()                   // wait out the background eviction
 	if n := m.Len(); n != 2 {
 		t.Fatalf("Len after eviction = %d, want 2", n)
 	}
@@ -150,6 +152,7 @@ func TestLRUEvictionWithoutStoreDropsState(t *testing.T) {
 	if got != 0 {
 		t.Errorf("re-created alice Feedback = %d, want 0 (no store)", got)
 	}
+	m.Flush() // re-creating alice evicted another session in the background
 	if st := m.Stats(); st.Evicted < 2 { // alice once, then bob or carol
 		t.Errorf("Evicted = %d, want ≥ 2", st.Evicted)
 	}
@@ -182,6 +185,7 @@ func TestEvictRestoreRoundTrip(t *testing.T) {
 	}
 
 	feedbackN(t, m, "bob", 1) // capacity 1: evicts alice through the store
+	m.Flush()
 	if store.Len() == 0 {
 		t.Fatal("eviction did not snapshot alice")
 	}
@@ -234,6 +238,7 @@ func TestDeleteRemovesSnapshot(t *testing.T) {
 	m := testManager(t, 1, store)
 	feedbackN(t, m, "alice", 2)
 	feedbackN(t, m, "bob", 1) // evicts alice into the store
+	m.Flush()
 	if store.Len() == 0 {
 		t.Fatal("no snapshot saved")
 	}
@@ -357,6 +362,7 @@ func TestConcurrentEvictionChurn(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+	m.Flush()
 	if st := m.Stats(); st.Evicted == 0 {
 		t.Fatalf("churn produced no evictions: %+v", st)
 	}
@@ -435,6 +441,7 @@ func TestEvictionSkipsEmptySessions(t *testing.T) {
 	touch("idle-1")
 	touch("idle-2") // evicts idle-1, which holds no preferences and no pool
 	touch("idle-3") // evicts idle-2
+	m.Flush()
 	if n := store.Len(); n != 0 {
 		t.Errorf("empty sessions left %d snapshots", n)
 	}
@@ -483,6 +490,7 @@ func TestEvictionClearsStaleSnapshotOnReset(t *testing.T) {
 	m := testManager(t, 1, store)
 	feedbackN(t, m, "alice", 2)
 	feedbackN(t, m, "bob", 1) // evicts alice with 2 prefs
+	m.Flush()
 	if store.Len() != 1 {
 		t.Fatal("no snapshot saved")
 	}
@@ -493,6 +501,7 @@ func TestEvictionClearsStaleSnapshotOnReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	feedbackN(t, m, "bob", 1) // evicts the now-empty alice
+	m.Flush()
 	var got int
 	if err := m.Do("alice", func(eng *core.Engine) error {
 		got = eng.Stats().Feedback
