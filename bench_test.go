@@ -15,8 +15,11 @@ package toppkg_test
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"toppkg/internal/catalog"
 	"toppkg/internal/core"
 	"toppkg/internal/dataset"
 	"toppkg/internal/feature"
@@ -422,6 +425,129 @@ func BenchmarkFig8PostFeedbackRecommend(b *testing.B) {
 				}
 			}
 			reportPipelineMetrics(b, eng, base)
+		})
+	}
+}
+
+// --- Live catalogue: recommend throughput under mutation churn. ---
+
+// churnMutationInterval paces the background mutator: one single-item
+// reprice batch per interval, i.e. ~500 nominal mutations/sec — a hot
+// admin feed. Each swap invalidates the epoch-keyed result cache, so the
+// mutating variant measures the serving cost of churn, not just the
+// rebuilds themselves. churnCoalesce is the rebuilder's burst window:
+// short enough that swaps land continuously under the recommend loop.
+const (
+	churnMutationInterval = 2 * time.Millisecond
+	churnCoalesce         = 5 * time.Millisecond
+)
+
+var churnVariants = []struct {
+	name   string
+	mutate bool
+}{
+	{"static", false},  // baseline: live catalogue, no mutations (cache stays warm)
+	{"mutating", true}, // epochs swap under the recommend loop
+}
+
+// BenchmarkChurnRecommend measures Recommend on a live catalogue while a
+// background mutator reprices items: the swap path's serving overhead.
+// The static variant is the same live stack with no mutations, so the
+// static/mutating pair is the churn comparison benchjson records.
+func BenchmarkChurnRecommend(b *testing.B) {
+	for _, tc := range churnVariants {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(21))
+			items := dataset.UNI(500, 5, rng)
+			cat, err := catalog.New(catalog.Config{
+				Profile:        benchProfile(5),
+				MaxPackageSize: 5,
+				Items:          items,
+				Coalesce:       churnCoalesce,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh, err := core.NewLiveShared(core.Config{
+				K:           5,
+				RandomCount: 5,
+				SampleCount: 60,
+				Seed:        12,
+				Parallelism: -1,
+				Search:      search.Options{MaxQueue: 64, MaxAccessed: 120},
+			}, cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := sh.NewEngine(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Recommend(); err != nil { // warm pool + cache
+				b.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			var mutations atomic.Int64
+			if tc.mutate {
+				go func() {
+					defer close(done)
+					mrng := rand.New(rand.NewSource(22))
+					tick := time.NewTicker(churnMutationInterval)
+					defer tick.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-tick.C:
+							id := mrng.Intn(len(items))
+							err := cat.Upsert([]feature.Item{{
+								ID:   id,
+								Name: items[id].Name,
+								Values: []float64{
+									mrng.Float64(), mrng.Float64(), mrng.Float64(),
+									mrng.Float64(), mrng.Float64(),
+								},
+							}})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							mutations.Add(1)
+						}
+					}
+				}()
+			} else {
+				close(done)
+			}
+			if tc.mutate {
+				// Time the steady state, not the last warm instants before
+				// the first swap lands: wait until churn is visibly active.
+				for cat.Current().ID < 2 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+
+			startEpoch := cat.Current().ID
+			base := eng.Stats()
+			mutBase := mutations.Load() // exclude warm-up-period mutations from mut/s
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Recommend(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			elapsed := time.Since(start)
+			close(stop)
+			<-done
+			reportPipelineMetrics(b, eng, base)
+			b.ReportMetric(float64(cat.Current().ID-startEpoch)/float64(b.N), "swaps/op")
+			if secs := elapsed.Seconds(); secs > 0 {
+				b.ReportMetric(float64(mutations.Load()-mutBase)/secs, "mut/s")
+			}
 		})
 	}
 }

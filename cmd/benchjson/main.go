@@ -32,7 +32,10 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Comparison pairs a benchmark's nocache baseline with its cached variant.
+// Comparison pairs a benchmark's baseline variant with its treated one:
+// nocache vs cached for the batching pipeline, static vs mutating for the
+// live-catalogue churn benchmark (where Speedup < 1 reads as the fraction
+// of throughput retained under churn).
 type Comparison struct {
 	Name             string  `json:"name"`
 	BaselineNsPerOp  float64 `json:"baseline_ns_per_op"`
@@ -50,8 +53,9 @@ type Report struct {
 	GoVersion  string      `json:"go_version"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
-	// Comparisons derive from <name>/nocache vs <name>/cached pairs; the
-	// speedup is baseline ns/op divided by after ns/op.
+	// Comparisons derive from <name>/nocache vs <name>/cached and
+	// <name>/static vs <name>/mutating pairs; the speedup is baseline
+	// ns/op divided by after ns/op.
 	Comparisons []Comparison `json:"comparisons,omitempty"`
 }
 
@@ -96,7 +100,14 @@ func parse(lines []string) (benches []Benchmark, cpu string) {
 	return benches, cpu
 }
 
-// compare pairs */nocache with */cached results.
+// comparePairs are the baseline→after variant suffixes folded into
+// Comparisons.
+var comparePairs = []struct{ base, after string }{
+	{"/nocache", "/cached"},
+	{"/static", "/mutating"},
+}
+
+// compare pairs baseline variants with their treated counterparts.
 func compare(benches []Benchmark) []Comparison {
 	byName := make(map[string]Benchmark, len(benches))
 	for _, b := range benches {
@@ -104,27 +115,29 @@ func compare(benches []Benchmark) []Comparison {
 	}
 	var out []Comparison
 	for _, b := range benches {
-		parent, ok := strings.CutSuffix(b.Name, "/nocache")
-		if !ok {
-			continue
+		for _, pair := range comparePairs {
+			parent, ok := strings.CutSuffix(b.Name, pair.base)
+			if !ok {
+				continue
+			}
+			after, ok := byName[parent+pair.after]
+			if !ok {
+				continue
+			}
+			c := Comparison{
+				Name:            parent,
+				BaselineNsPerOp: b.NsPerOp,
+				AfterNsPerOp:    after.NsPerOp,
+			}
+			if after.NsPerOp > 0 {
+				c.Speedup = b.NsPerOp / after.NsPerOp
+			}
+			c.BaselineSearches = b.Metrics["searches/op"]
+			c.AfterSearches = after.Metrics["searches/op"]
+			c.AfterHitsPerOp = after.Metrics["hits/op"]
+			c.DedupRatio = after.Metrics["dedup"]
+			out = append(out, c)
 		}
-		after, ok := byName[parent+"/cached"]
-		if !ok {
-			continue
-		}
-		c := Comparison{
-			Name:            parent,
-			BaselineNsPerOp: b.NsPerOp,
-			AfterNsPerOp:    after.NsPerOp,
-		}
-		if after.NsPerOp > 0 {
-			c.Speedup = b.NsPerOp / after.NsPerOp
-		}
-		c.BaselineSearches = b.Metrics["searches/op"]
-		c.AfterSearches = after.Metrics["searches/op"]
-		c.AfterHitsPerOp = after.Metrics["hits/op"]
-		c.DedupRatio = after.Metrics["dedup"]
-		out = append(out, c)
 	}
 	return out
 }

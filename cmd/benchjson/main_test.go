@@ -13,6 +13,8 @@ var sample = []string{
 	"BenchmarkFig6TopKPkg/uni-4         \t     100\t  12345678 ns/op\t 2048 B/op\t      12 allocs/op",
 	"BenchmarkFig8PostFeedbackRecommend/nocache-4 \t      20\t2009556786 ns/op\t         0.2310 dedup\t         0 hits/op\t       161.5 searches/op",
 	"BenchmarkFig8PostFeedbackRecommend/cached-4  \t      20\t 262562438 ns/op\t         0.2310 dedup\t       125.0 hits/op\t        36.45 searches/op",
+	"BenchmarkChurnRecommend/static-4   \t      20\t  50000000 ns/op\t         0 swaps/op",
+	"BenchmarkChurnRecommend/mutating-4 \t      20\t 100000000 ns/op\t         0.5000 swaps/op\t       190.0 mut/s",
 	"PASS",
 	"ok  \ttoppkg\t51.485s",
 }
@@ -22,8 +24,8 @@ func TestParse(t *testing.T) {
 	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
 		t.Errorf("cpu = %q", cpu)
 	}
-	if len(benches) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	if len(benches) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(benches))
 	}
 	b := benches[0]
 	if b.Name != "Fig6TopKPkg/uni" || b.Iterations != 100 || b.NsPerOp != 12345678 {
@@ -40,8 +42,8 @@ func TestParse(t *testing.T) {
 func TestCompare(t *testing.T) {
 	benches, _ := parse(sample)
 	cs := compare(benches)
-	if len(cs) != 1 {
-		t.Fatalf("got %d comparisons, want 1", len(cs))
+	if len(cs) != 2 {
+		t.Fatalf("got %d comparisons, want 2", len(cs))
 	}
 	c := cs[0]
 	if c.Name != "Fig8PostFeedbackRecommend" {
@@ -52,6 +54,13 @@ func TestCompare(t *testing.T) {
 	}
 	if c.AfterHitsPerOp != 125 || c.BaselineSearches != 161.5 || c.DedupRatio != 0.231 {
 		t.Errorf("metrics not threaded through: %+v", c)
+	}
+	churn := cs[1]
+	if churn.Name != "ChurnRecommend" {
+		t.Errorf("churn comparison name = %q", churn.Name)
+	}
+	if math.Abs(churn.Speedup-0.5) > 1e-9 {
+		t.Errorf("churn speedup = %g, want 0.5 (throughput retained)", churn.Speedup)
 	}
 }
 

@@ -12,6 +12,14 @@
 //	curl -X POST localhost:8080/sessions/alice/click -d '{"chosen":[1,2],"shown":[[1,2],[3]]}'
 //	curl localhost:8080/sessions            # list resident sessions
 //	curl localhost:8080/healthz             # liveness + manager counters
+//
+// With -mutable-catalog the item set is live: admin requests mutate it and
+// a background rebuilder swaps in fresh epochs without blocking serving:
+//
+//	serve -mutable-catalog -rebuild-coalesce 20ms
+//	curl -X POST localhost:8080/catalog/items -d '{"items":[{"id":9000,"name":"new","values":[1,2,3,4,5]}]}'
+//	curl -X DELETE localhost:8080/catalog/items/9000
+//	curl localhost:8080/catalog             # epoch, item count, rebuild stats
 package main
 
 import (
@@ -21,11 +29,13 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // registers debug handlers on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"toppkg/internal/catalog"
 	"toppkg/internal/core"
 	"toppkg/internal/dataset"
 	"toppkg/internal/feature"
@@ -54,8 +64,30 @@ func main() {
 		quantum  = flag.Float64("quantum", 0, "weight quantization step for dedup/caching (0 = exact, bit-identical slates)")
 		par      = flag.Int("parallelism", -1, "per-sample search workers per recommend (negative = GOMAXPROCS)")
 		evictW   = flag.Int("evict-workers", session.DefaultEvictWorkers, "background snapshot writers for eviction (negative = evict synchronously)")
+		mutable  = flag.Bool("mutable-catalog", false, "serve a live catalogue: enable POST/DELETE /catalog/items with epoch-swapped index rebuilds")
+		coalesce = flag.Duration("rebuild-coalesce", catalog.DefaultCoalesce, "how long the rebuilder waits for a mutation burst to settle before building the next epoch (negative: rebuild synchronously on every batch)")
+		pprof    = flag.String("pprof", "", "mount net/http/pprof on this separate listen address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	// Fail fast on nonsensical sizing instead of panicking (or silently
+	// selecting defaults) deep inside core.NewShared.
+	if *features <= 0 {
+		log.Fatalf("-features must be positive, got %d", *features)
+	}
+	if *phi <= 0 {
+		log.Fatalf("-phi must be positive, got %d", *phi)
+	}
+	if *k <= 0 {
+		log.Fatalf("-k must be positive, got %d", *k)
+	}
+	if *samples <= 0 {
+		log.Fatalf("-samples must be positive, got %d", *samples)
+	}
+	if *items <= 0 && *kind != "nba" && *kind != "NBA" {
+		// The NBA synthesizer has a fixed cardinality and ignores -items.
+		log.Fatalf("-items must be positive for synthetic datasets, got %d", *items)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	data, err := dataset.Generate(*kind, *items, *features, rng)
@@ -77,7 +109,7 @@ func main() {
 		// smallest real cache instead of silently selecting the default.
 		cacheSize = 1
 	}
-	shared, err := core.NewShared(core.Config{
+	cfg := core.Config{
 		Items:           data,
 		Profile:         feature.SimpleProfile(aggs...),
 		MaxPackageSize:  *phi,
@@ -89,7 +121,25 @@ func main() {
 		Search:          search.Options{MaxQueue: 128, MaxAccessed: 500},
 		SearchCacheSize: cacheSize,
 		WeightQuantum:   *quantum,
-	})
+	}
+	var (
+		shared *core.Shared
+		cat    *catalog.Catalog
+	)
+	if *mutable {
+		cat, err = catalog.New(catalog.Config{
+			Profile:        cfg.Profile,
+			MaxPackageSize: *phi,
+			Items:          data,
+			Coalesce:       *coalesce,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		shared, err = core.NewLiveShared(cfg, cat)
+	} else {
+		shared, err = core.NewShared(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -122,9 +172,24 @@ func main() {
 		}
 		log.Printf("restored default session from %s", *restore)
 	}
-	fmt.Printf("serving %s (%d items, %d features) on %s, capacity %d sessions\n",
-		*kind, len(data), *features, *addr, *capacity)
-	srv := &http.Server{Addr: *addr, Handler: server.New(mgr, server.Options{MaxBodyBytes: *maxBody})}
+	if *pprof != "" {
+		// A separate listener keeps the profiling surface off the serving
+		// port (and off any load balancer): the blank net/http/pprof import
+		// registers its handlers on http.DefaultServeMux.
+		go func() {
+			log.Printf("pprof listening on %s/debug/pprof/", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
+	mode := "static catalogue"
+	if *mutable {
+		mode = "mutable catalogue"
+	}
+	fmt.Printf("serving %s (%d items, %d features, %s) on %s, capacity %d sessions\n",
+		*kind, len(data), *features, mode, *addr, *capacity)
+	srv := &http.Server{Addr: *addr, Handler: server.New(mgr, server.Options{MaxBodyBytes: *maxBody, Catalog: cat})}
 	// Graceful shutdown: flush resident sessions to the snapshot store, so
 	// learned state survives restarts, not just LRU pressure.
 	stop := make(chan os.Signal, 1)

@@ -1,0 +1,455 @@
+// Package catalog is the live item store behind a serving deployment: a
+// versioned, mutable catalogue with copy-on-write epoch snapshots. The
+// paper assumes a fixed item relation T, but the scenario it motivates
+// (§1: packages recommended at login, clicks fed back) is exactly the
+// setting where inventory arrives, sells out, and gets repriced while
+// sessions are live.
+//
+// A Catalog owns the authoritative item set, keyed by a stable item ID,
+// and accepts Upsert/Delete batches. Each committed batch makes the
+// catalogue dirty; a background rebuilder coalesces rapid mutation bursts,
+// builds a fresh immutable Epoch — monotonic ID plus the feature.Space and
+// search.Index every reader needs — off-request, and atomically swaps it
+// in. Readers resolve the current epoch with one atomic load and then work
+// against immutable state, so a recommend in flight never observes a torn
+// index and never blocks on a rebuild; it simply runs to completion on the
+// epoch it started with.
+//
+// Dense vs stable IDs: the rest of the system addresses items positionally
+// (package item IDs index feature.Space.Items). Each epoch therefore
+// compacts the authoritative set into a dense slice ordered by stable ID
+// and records the mapping both ways. As long as no lower-numbered item is
+// deleted, an item keeps its dense ID across epochs; Epoch.DenseID and
+// Epoch.StableID translate when that does not hold.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toppkg/internal/feature"
+	"toppkg/internal/search"
+)
+
+// DefaultCoalesce is the rebuild coalescing window applied when
+// Config.Coalesce is zero: after the first mutation dirties the catalogue,
+// the rebuilder waits this long for the burst to finish before building,
+// so a stream of rapid batches costs one rebuild, not one per batch.
+const DefaultCoalesce = 20 * time.Millisecond
+
+// Config configures a Catalog.
+type Config struct {
+	// Profile is the aggregate feature profile every epoch is built
+	// against (required; it fixes the utility dimensionality, so it cannot
+	// change across epochs).
+	Profile *feature.Profile
+	// MaxPackageSize is φ (required positive).
+	MaxPackageSize int
+	// Items is the initial item set (required non-empty). Item.ID is the
+	// stable catalogue key; IDs must be non-negative and distinct.
+	Items []feature.Item
+	// Coalesce tunes the rebuild coalescing window: 0 selects
+	// DefaultCoalesce, a negative value disables the background rebuilder
+	// entirely — every mutation batch rebuilds and swaps synchronously
+	// before Upsert/Delete returns (deterministic; meant for tests and
+	// offline tools).
+	Coalesce time.Duration
+}
+
+// Epoch is one immutable snapshot of the catalogue: everything a reader
+// needs to serve recommendations, plus the stable↔dense ID mapping. Epoch
+// IDs are monotonic; the initial build is epoch 1.
+type Epoch struct {
+	// ID is the monotonic epoch number.
+	ID uint64
+	// Space is the feature space over the epoch's dense item slice.
+	Space *feature.Space
+	// Index is the Top-k-Pkg search index over Space.
+	Index *search.Index
+	// stable[i] is the stable catalogue ID of dense item i.
+	stable []int
+	// dense maps stable ID → dense index.
+	dense map[int]int
+}
+
+// Items returns the epoch's dense item slice (do not mutate).
+func (ep *Epoch) Items() []feature.Item { return ep.Space.Items }
+
+// StableID returns the stable catalogue ID of dense item i.
+func (ep *Epoch) StableID(i int) int { return ep.stable[i] }
+
+// DenseID returns the dense index of the item with the given stable ID,
+// and whether it exists in this epoch.
+func (ep *Epoch) DenseID(stable int) (int, bool) {
+	i, ok := ep.dense[stable]
+	return i, ok
+}
+
+// Stats is a point-in-time view of the catalogue's activity.
+type Stats struct {
+	// Epoch is the current epoch ID; Items its item count.
+	Epoch uint64 `json:"epoch"`
+	Items int    `json:"items"`
+	// Upserts and Deletes count items written and removed; Batches counts
+	// committed mutation batches.
+	Upserts int64 `json:"upserts"`
+	Deletes int64 `json:"deletes"`
+	Batches int64 `json:"batches"`
+	// Rebuilds counts epoch builds (including the initial one); when
+	// smaller than Batches+1, coalescing folded bursts together.
+	Rebuilds int64 `json:"rebuilds"`
+	// BuildErrors counts rebuilds that failed and kept the previous epoch
+	// (should stay zero: batches are validated before commit); LastError
+	// is the most recent such failure, empty when healthy.
+	BuildErrors int64  `json:"build_errors"`
+	LastError   string `json:"last_error,omitempty"`
+	// Pending reports whether committed mutations are not yet covered by
+	// the current epoch (a rebuild is queued or running).
+	Pending bool `json:"pending"`
+}
+
+// Catalog is the mutable item store. All methods are safe for concurrent
+// use; Current is wait-free (one atomic load).
+type Catalog struct {
+	profile  *feature.Profile
+	maxSize  int
+	coalesce time.Duration
+
+	cur atomic.Pointer[Epoch]
+
+	mu       sync.Mutex // guards everything below; never held across a build
+	items    map[int]feature.Item
+	version  uint64 // bumped per committed batch
+	built    uint64 // version the current epoch covers
+	building bool   // a rebuild goroutine is scheduled or running
+	caughtUp *sync.Cond
+	subs     []func(*Epoch)
+
+	nextEpoch uint64
+	upserts   int64
+	deletes   int64
+	batches   int64
+	rebuilds  int64
+	buildErrs int64
+	lastErr   error
+}
+
+// New validates cfg, builds epoch 1 synchronously, and returns the
+// catalogue ready to serve.
+func New(cfg Config) (*Catalog, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("catalog: Config.Profile is required")
+	}
+	if cfg.MaxPackageSize <= 0 {
+		return nil, fmt.Errorf("catalog: MaxPackageSize must be positive, got %d", cfg.MaxPackageSize)
+	}
+	if len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("catalog: empty initial item set")
+	}
+	if cfg.Coalesce == 0 {
+		cfg.Coalesce = DefaultCoalesce
+	}
+	c := &Catalog{
+		profile:  cfg.Profile,
+		maxSize:  cfg.MaxPackageSize,
+		coalesce: cfg.Coalesce,
+		items:    make(map[int]feature.Item, len(cfg.Items)),
+	}
+	c.caughtUp = sync.NewCond(&c.mu)
+	for i := range cfg.Items {
+		it := cfg.Items[i]
+		if err := c.validateItem(it); err != nil {
+			return nil, err
+		}
+		if _, dup := c.items[it.ID]; dup {
+			return nil, fmt.Errorf("catalog: duplicate initial item ID %d", it.ID)
+		}
+		c.items[it.ID] = copyItem(it)
+	}
+	ep, err := c.build(1)
+	if err != nil {
+		return nil, err
+	}
+	c.nextEpoch = 1
+	c.rebuilds = 1
+	c.cur.Store(ep)
+	return c, nil
+}
+
+// Current returns the epoch readers should serve from. The returned epoch
+// is immutable and remains valid (and consistent) for as long as the
+// caller holds it, even across later swaps.
+func (c *Catalog) Current() *Epoch { return c.cur.Load() }
+
+// Profile returns the profile every epoch is built against.
+func (c *Catalog) Profile() *feature.Profile { return c.profile }
+
+// MaxPackageSize returns φ.
+func (c *Catalog) MaxPackageSize() int { return c.maxSize }
+
+// Subscribe registers fn to run after every epoch swap, with the epoch
+// just installed. Callbacks run on the rebuilder goroutine (or the
+// mutating goroutine in synchronous mode) and must be safe for concurrent
+// use with readers; keep them short.
+func (c *Catalog) Subscribe(fn func(*Epoch)) {
+	c.mu.Lock()
+	c.subs = append(c.subs, fn)
+	c.mu.Unlock()
+}
+
+// validateItem front-loads every constraint feature.NewSpace would reject,
+// so a committed batch cannot make the catalogue unbuildable.
+func (c *Catalog) validateItem(it feature.Item) error {
+	if it.ID < 0 {
+		return fmt.Errorf("catalog: negative item ID %d", it.ID)
+	}
+	if len(it.Values) != c.profile.FeatureCount() {
+		return fmt.Errorf("catalog: item %d has %d values, profile expects %d",
+			it.ID, len(it.Values), c.profile.FeatureCount())
+	}
+	for f, v := range it.Values {
+		if !feature.IsNull(v) && v < 0 {
+			return fmt.Errorf("catalog: item %d has negative value %g on feature %d", it.ID, v, f)
+		}
+	}
+	return nil
+}
+
+// Upsert inserts or replaces the given items as one atomic batch. The
+// whole batch is validated first; on error nothing is committed. Returns
+// once the batch is committed (and, in synchronous mode, swapped in).
+func (c *Catalog) Upsert(items []feature.Item) error {
+	if len(items) == 0 {
+		return fmt.Errorf("catalog: empty upsert batch")
+	}
+	for i := range items {
+		if err := c.validateItem(items[i]); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	for i := range items {
+		c.items[items[i].ID] = copyItem(items[i])
+	}
+	c.upserts += int64(len(items))
+	c.commitLocked() // unlocks c.mu
+	return nil
+}
+
+// Delete removes the items with the given stable IDs as one atomic batch,
+// reporting how many existed. Missing IDs are not an error; a batch that
+// would empty the catalogue is rejected without committing anything.
+func (c *Catalog) Delete(ids []int) (removed int, err error) {
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("catalog: empty delete batch")
+	}
+	c.mu.Lock()
+	// Count distinct existing IDs: a batch may repeat an ID, which must
+	// neither inflate the removal count past the item count (emptying the
+	// catalogue through the guard) nor falsely trip the guard.
+	distinct := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := c.items[id]; ok {
+			distinct[id] = true
+		}
+	}
+	removed = len(distinct)
+	if removed == len(c.items) {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("catalog: delete batch would empty the catalogue")
+	}
+	if removed == 0 {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	for id := range distinct {
+		delete(c.items, id)
+	}
+	c.deletes += int64(removed)
+	c.commitLocked() // unlocks c.mu
+	return removed, nil
+}
+
+// commitLocked records a committed batch and arranges the rebuild. Called
+// with c.mu held; always releases it.
+func (c *Catalog) commitLocked() {
+	c.version++
+	c.batches++
+	if c.coalesce < 0 {
+		// Synchronous mode: build before returning to the caller.
+		c.rebuildLocked() // unlocks c.mu
+		return
+	}
+	if !c.building {
+		c.building = true
+		go c.rebuildLoop()
+	}
+	c.mu.Unlock()
+}
+
+// rebuildLoop is the background rebuilder: it coalesces the mutation burst
+// that woke it, builds off-request, swaps, and exits once the epoch covers
+// every committed batch. A later burst starts a fresh goroutine, so the
+// catalogue holds no long-lived goroutines while quiescent.
+func (c *Catalog) rebuildLoop() {
+	for {
+		time.Sleep(c.coalesce)
+		c.mu.Lock()
+		if c.built == c.version {
+			c.building = false
+			c.mu.Unlock()
+			return
+		}
+		c.rebuildLocked() // unlocks c.mu
+	}
+}
+
+// rebuildLocked snapshots the item set, builds the next epoch outside the
+// lock, swaps it in, and notifies subscribers. Called with c.mu held;
+// returns with it released. Concurrent synchronous mutators may build in
+// parallel; epoch IDs are assigned at install time under the lock, and a
+// build whose target version another build has already covered is
+// discarded rather than swapped in out of order.
+func (c *Catalog) rebuildLocked() {
+	target := c.version
+	items, stable := c.denseItemsLocked()
+	c.mu.Unlock()
+
+	ep, err := buildEpoch(items, stable, c.profile, c.maxSize)
+
+	c.mu.Lock()
+	c.rebuilds++
+	installed := false
+	if err != nil {
+		// Unreachable with validated batches; keep serving the old epoch.
+		// built still advances below so Flush and ?wait=1 cannot hang on a
+		// batch that will never build — the failure is surfaced through
+		// Stats.BuildErrors/LastError instead of a wedged rebuild loop.
+		c.buildErrs++
+		c.lastErr = err
+	} else if target > c.built {
+		c.nextEpoch++
+		ep.ID = c.nextEpoch
+		c.cur.Store(ep)
+		installed = true
+	}
+	if target > c.built {
+		c.built = target
+	}
+	subs := append([]func(*Epoch){}, c.subs...)
+	if c.built == c.version {
+		c.caughtUp.Broadcast()
+	}
+	c.mu.Unlock()
+	if installed {
+		for _, fn := range subs {
+			fn(ep)
+		}
+	}
+}
+
+// build constructs an epoch from the current authoritative set (used for
+// the initial synchronous build).
+func (c *Catalog) build(id uint64) (*Epoch, error) {
+	c.mu.Lock()
+	items, stable := c.denseItemsLocked()
+	c.mu.Unlock()
+	ep, err := buildEpoch(items, stable, c.profile, c.maxSize)
+	if err != nil {
+		return nil, err
+	}
+	ep.ID = id
+	return ep, nil
+}
+
+// denseItemsLocked compacts the authoritative map into a dense slice
+// ordered by stable ID. Item.ID is rewritten to the dense index (the
+// positional convention the rest of the system relies on); stable[i] keeps
+// dense item i's catalogue key. Requires c.mu.
+func (c *Catalog) denseItemsLocked() (dense []feature.Item, stable []int) {
+	stable = make([]int, 0, len(c.items))
+	for id := range c.items {
+		stable = append(stable, id)
+	}
+	sort.Ints(stable)
+	dense = make([]feature.Item, len(stable))
+	for i, id := range stable {
+		it := c.items[id] // copy; Values are never mutated in place
+		it.ID = i
+		dense[i] = it
+	}
+	return dense, stable
+}
+
+// buildEpoch derives the immutable epoch state from a dense item slice.
+// The epoch ID is assigned by the caller at install time.
+func buildEpoch(items []feature.Item, stable []int, p *feature.Profile, maxSize int) (*Epoch, error) {
+	space, err := feature.NewSpace(items, p, maxSize)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: building epoch over %d items: %w", len(items), err)
+	}
+	ep := &Epoch{
+		Space:  space,
+		Index:  search.NewIndex(space),
+		stable: stable,
+		dense:  make(map[int]int, len(stable)),
+	}
+	for i, s := range stable {
+		ep.dense[s] = i
+	}
+	return ep, nil
+}
+
+// Flush blocks until the current epoch covers every mutation batch
+// committed before the call.
+func (c *Catalog) Flush() {
+	c.mu.Lock()
+	for c.built < c.version {
+		c.caughtUp.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Len reports the authoritative item count (which the current epoch may
+// trail while a rebuild is pending).
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats returns a point-in-time copy of the counters.
+func (c *Catalog) Stats() Stats {
+	ep := c.Current()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Epoch:       ep.ID,
+		Items:       len(ep.Items()),
+		Upserts:     c.upserts,
+		Deletes:     c.deletes,
+		Batches:     c.batches,
+		Rebuilds:    c.rebuilds,
+		BuildErrors: c.buildErrs,
+		Pending:     c.built < c.version,
+	}
+	if c.lastErr != nil {
+		st.LastError = c.lastErr.Error()
+	}
+	return st
+}
+
+// LastError returns the most recent build error (nil in healthy operation).
+func (c *Catalog) LastError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+func copyItem(it feature.Item) feature.Item {
+	it.Values = append([]float64(nil), it.Values...)
+	return it
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"toppkg/internal/catalog"
 	"toppkg/internal/feature"
 	"toppkg/internal/gaussmix"
 	"toppkg/internal/maintain"
@@ -162,38 +163,78 @@ type Slate struct {
 	Random []pkgspace.Package
 	// All is every distinct package shown, recommended first.
 	All []pkgspace.Package
+	// Epoch identifies the catalogue epoch the slate was computed against
+	// (0 for a static catalogue); Space is that epoch's feature space, so
+	// callers can resolve item IDs and names consistently with the slate
+	// even if the live catalogue swaps right after Recommend returns.
+	Epoch uint64
+	Space *feature.Space
 }
 
 // Engine is the package recommender. It is not safe for concurrent use.
 type Engine struct {
 	cfg   Config
-	space *feature.Space
-	ix    *search.Index
-	cache *ranking.Cache // shared per-catalogue result cache; nil = disabled
+	sh    *Shared // catalogue-wide state: epochs + shared result cache
 	rng   *rand.Rand
 	graph *prefgraph.Graph
 	pool  *maintain.Pool
 	stats Stats
+	// fbSpace is the space of the most recent slate this engine served.
+	// Clicks and pairwise feedback refer to packages the user was shown,
+	// so their item IDs are dense positions in — and their preference
+	// vectors must be computed from — that slate's epoch, not whatever the
+	// catalogue has swapped to since. Only the space is retained (not the
+	// whole epoch view) so an idle session does not pin a retired epoch's
+	// search index in memory. Nil until the first Recommend (feedback then
+	// resolves the current epoch, the pre-live behavior); not persisted,
+	// so a session restored from an eviction snapshot starts over on the
+	// current epoch (see Snapshot).
+	fbSpace *feature.Space
 }
 
-// Shared is the catalog-wide immutable half of an engine: the normalized
-// configuration, the feature space, and the search index, built once per
-// item catalogue. Many engines (one per user session) derive from one
+// Shared is the catalogue-wide half of an engine: the normalized
+// configuration plus the feature space and search index of the catalogue's
+// current epoch. Many engines (one per user session) derive from one
 // Shared via NewEngine, skipping the O(n log n) index construction that
 // dominates core.New. A Shared is safe for concurrent use; the engines it
 // produces are independent and individually single-threaded.
+//
+// A Shared comes in two flavors. NewShared freezes one epoch at
+// construction — the original immutable-catalogue behavior. NewLiveShared
+// wraps a catalog.Catalog instead: every Recommend resolves the
+// catalogue's current epoch with one atomic load, so mutations show up in
+// the next request without any engine or manager restart, and a request in
+// flight keeps the coherent epoch it started with.
 type Shared struct {
 	cfg   Config
-	space *feature.Space
+	space *feature.Space // static epoch (nil when cat != nil)
 	ix    *search.Index
+	cat   *catalog.Catalog // live catalogue (nil for static)
 	cache *ranking.Cache
 }
 
-// NewShared validates cfg, applies the paper's defaults, and builds the
-// feature space and search index once.
-func NewShared(cfg Config) (*Shared, error) {
+// epochView is one resolved, coherent catalogue epoch: everything a single
+// request needs. For a static Shared the ID is always 0.
+type epochView struct {
+	id    uint64
+	space *feature.Space
+	ix    *search.Index
+}
+
+// epoch resolves the current epoch: wait-free, never blocks on a rebuild.
+func (sh *Shared) epoch() epochView {
+	if sh.cat != nil {
+		ep := sh.cat.Current()
+		return epochView{id: ep.ID, space: ep.Space, ix: ep.Index}
+	}
+	return epochView{id: 0, space: sh.space, ix: sh.ix}
+}
+
+// normalizeConfig applies the paper's defaults and validates everything
+// that does not depend on the item set.
+func normalizeConfig(cfg Config) (Config, error) {
 	if cfg.Profile == nil {
-		return nil, fmt.Errorf("core: Config.Profile is required")
+		return cfg, fmt.Errorf("core: Config.Profile is required")
 	}
 	if cfg.MaxPackageSize == 0 {
 		cfg.MaxPackageSize = 5
@@ -226,24 +267,84 @@ func NewShared(cfg Config) (*Shared, error) {
 		cfg.Seed = 1
 	}
 	if cfg.Prior != nil && cfg.Prior.Dims() != cfg.Profile.Dims() {
-		return nil, fmt.Errorf("core: prior has %d dims, profile has %d", cfg.Prior.Dims(), cfg.Profile.Dims())
+		return cfg, fmt.Errorf("core: prior has %d dims, profile has %d", cfg.Prior.Dims(), cfg.Profile.Dims())
+	}
+	return cfg, nil
+}
+
+// newCache builds the shared result cache cfg selects (nil = disabled).
+func newCache(cfg Config) *ranking.Cache {
+	if cfg.SearchCacheSize < 0 {
+		return nil
+	}
+	return ranking.NewCache(cfg.SearchCacheSize)
+}
+
+// NewShared validates cfg, applies the paper's defaults, and builds the
+// feature space and search index once — a static catalogue frozen at
+// process start (epoch 0). Use NewLiveShared for a mutable catalogue.
+func NewShared(cfg Config) (*Shared, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	space, err := feature.NewSpace(cfg.Items, cfg.Profile, cfg.MaxPackageSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	var cache *ranking.Cache
-	if cfg.SearchCacheSize >= 0 {
-		cache = ranking.NewCache(cfg.SearchCacheSize)
-	}
-	return &Shared{cfg: cfg, space: space, ix: search.NewIndex(space), cache: cache}, nil
+	return &Shared{cfg: cfg, space: space, ix: search.NewIndex(space), cache: newCache(cfg)}, nil
 }
 
-// Space exposes the shared feature space.
-func (sh *Shared) Space() *feature.Space { return sh.space }
+// NewLiveShared builds a Shared over a mutable catalogue: engines resolve
+// the catalogue's current epoch per Recommend instead of holding a frozen
+// index. The catalogue owns the profile and φ, so cfg.Profile,
+// cfg.MaxPackageSize, and cfg.Items are taken from cat (any values set on
+// cfg for those fields are ignored). On every epoch swap the shared
+// Top-k-Pkg result cache is invalidated; results are additionally keyed by
+// epoch ID, so even a Recommend racing the swap can never mix epochs.
+func NewLiveShared(cfg Config, cat *catalog.Catalog) (*Shared, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("core: NewLiveShared requires a catalogue")
+	}
+	cfg.Profile = cat.Profile()
+	cfg.MaxPackageSize = cat.MaxPackageSize()
+	cfg.Items = nil
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Shared{cfg: cfg, cat: cat, cache: newCache(cfg)}
+	if sh.cache != nil {
+		// Hygiene, not correctness: epoch-keyed entries from retired epochs
+		// are unreachable anyway, but dropping them keeps the LRU from
+		// filling with dead results under churn.
+		cat.Subscribe(func(*catalog.Epoch) { sh.cache.Invalidate() })
+	}
+	return sh, nil
+}
 
-// Index exposes the shared search index (safe for concurrent TopK runs).
-func (sh *Shared) Index() *search.Index { return sh.ix }
+// Space exposes the current epoch's feature space.
+func (sh *Shared) Space() *feature.Space { return sh.epoch().space }
+
+// Index exposes the current epoch's search index (safe for concurrent TopK
+// runs; immutable once published).
+func (sh *Shared) Index() *search.Index { return sh.epoch().ix }
+
+// Epoch reports the current catalogue epoch ID (always 0 for a static
+// Shared; live epochs start at 1).
+func (sh *Shared) Epoch() uint64 { return sh.epoch().id }
+
+// EpochInfo reports one coherent (epoch ID, item count) pair — resolved
+// from a single epoch, so a swap between two separate Epoch()/Space()
+// calls cannot pair an ID with another epoch's item count.
+func (sh *Shared) EpochInfo() (id uint64, items int) {
+	ep := sh.epoch()
+	return ep.id, len(ep.space.Items)
+}
+
+// Catalog exposes the live catalogue behind this Shared, nil when the
+// catalogue is static.
+func (sh *Shared) Catalog() *catalog.Catalog { return sh.cat }
 
 // SearchCache exposes the shared per-catalogue result cache (nil when the
 // config disabled caching). Safe for concurrent use; see ranking.Cache.
@@ -277,9 +378,7 @@ func (sh *Shared) NewEngine(seed int64) (*Engine, error) {
 	}
 	return &Engine{
 		cfg:   cfg,
-		space: sh.space,
-		ix:    sh.ix,
-		cache: sh.cache,
+		sh:    sh,
 		rng:   rng,
 		graph: prefgraph.New(),
 	}, nil
@@ -296,11 +395,17 @@ func New(cfg Config) (*Engine, error) {
 	return sh.NewEngine(0)
 }
 
-// Space exposes the feature space (items, profile, normalizer).
-func (e *Engine) Space() *feature.Space { return e.space }
+// Space exposes the current epoch's feature space (items, profile,
+// normalizer). With a live catalogue, successive calls may observe
+// different epochs; a Slate's Space field pins the epoch a slate used.
+func (e *Engine) Space() *feature.Space { return e.sh.epoch().space }
 
-// Index exposes the search index for direct Top-k-Pkg runs.
-func (e *Engine) Index() *search.Index { return e.ix }
+// Index exposes the current epoch's search index for direct Top-k-Pkg
+// runs.
+func (e *Engine) Index() *search.Index { return e.sh.epoch().ix }
+
+// Epoch reports the catalogue epoch the engine would serve from right now.
+func (e *Engine) Epoch() uint64 { return e.sh.epoch().id }
 
 // Stats returns the cumulative counters.
 func (e *Engine) Stats() Stats {
@@ -316,12 +421,30 @@ func (e *Engine) FeedbackCount() int { return e.stats.Feedback }
 // Graph exposes the preference DAG (read-mostly; use Feedback to mutate).
 func (e *Engine) Graph() *prefgraph.Graph { return e.graph }
 
-// PackageVector computes the normalized aggregate vector of a package.
+// FeedbackSpace is the space feedback package IDs are interpreted in: the
+// epoch of the engine's most recent slate, falling back to the current
+// epoch before any Recommend. Callers validating click/feedback payloads
+// must use it rather than Space(), or a catalogue swap between a slate and
+// its click would misread (or reject) the slate's item IDs.
+func (e *Engine) FeedbackSpace() *feature.Space {
+	if e.fbSpace == nil {
+		// Memoize the fallback: a click arriving before this incarnation's
+		// first Recommend (e.g. right after an eviction restore) must
+		// validate and vectorize winner and loser against ONE epoch, not
+		// re-resolve per call with a swap possibly landing in between.
+		e.fbSpace = e.sh.epoch().space
+	}
+	return e.fbSpace
+}
+
+// PackageVector computes the normalized aggregate vector of a package
+// against the feedback space (see FeedbackSpace).
 func (e *Engine) PackageVector(p pkgspace.Package) ([]float64, error) {
-	if err := pkgspace.ValidateIDs(e.space, p); err != nil {
+	sp := e.FeedbackSpace()
+	if err := pkgspace.ValidateIDs(sp, p); err != nil {
 		return nil, err
 	}
-	return pkgspace.Vector(e.space, p), nil
+	return pkgspace.Vector(sp, p), nil
 }
 
 func (e *Engine) constraints() []prefgraph.Constraint {
@@ -331,7 +454,7 @@ func (e *Engine) constraints() []prefgraph.Constraint {
 // Sampler builds the configured sampling strategy over the current
 // feedback constraints.
 func (e *Engine) Sampler() (sampling.Sampler, error) {
-	v := sampling.NewValidator(e.space.Dims(), e.constraints())
+	v := sampling.NewValidator(e.cfg.Profile.Dims(), e.constraints())
 	v.Psi = e.cfg.Psi
 	switch e.cfg.Sampler {
 	case SamplerRejection:
@@ -404,18 +527,25 @@ func (e *Engine) InvalidateSamples() { e.pool = nil }
 // searched once, vectors seen in an earlier round are served from the
 // shared result cache, and the remainder is sharded across
 // Config.Parallelism workers (see Stats' Rank* counters).
+//
+// The catalogue epoch is resolved once at entry and pinned for the whole
+// call: ranking, cache keys, and the exploration tail all use the same
+// coherent snapshot even if the live catalogue swaps mid-request. The
+// slate records the epoch (and its space) it was computed against.
 func (e *Engine) Recommend() (*Slate, error) {
 	if err := e.ensureSamples(); err != nil {
 		return nil, err
 	}
+	ep := e.sh.epoch()
 	var m ranking.Metrics
-	ranked, err := ranking.Rank(e.ix, e.pool.Samples, e.cfg.Semantics, ranking.Options{
+	ranked, err := ranking.Rank(ep.ix, e.pool.Samples, e.cfg.Semantics, ranking.Options{
 		K:           e.cfg.K,
 		Sigma:       e.cfg.Sigma,
 		Parallelism: e.cfg.Parallelism,
 		Search:      e.cfg.Search,
 		Quantum:     e.cfg.WeightQuantum,
-		Cache:       e.cache,
+		Cache:       e.sh.cache,
+		Epoch:       ep.id,
 		Metrics:     &m,
 	})
 	e.stats.RankSamples += m.Samples
@@ -425,14 +555,15 @@ func (e *Engine) Recommend() (*Slate, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: ranking: %w", err)
 	}
-	slate := &Slate{Recommended: ranked}
+	e.fbSpace = ep.space // feedback on this slate resolves against its epoch
+	slate := &Slate{Recommended: ranked, Epoch: ep.id, Space: ep.space}
 	seen := make(map[string]bool, len(ranked)+e.cfg.RandomCount)
 	for _, r := range ranked {
 		slate.All = append(slate.All, r.Pkg)
 		seen[r.Pkg.Signature()] = true
 	}
 	for tries := 0; len(slate.Random) < e.cfg.RandomCount && tries < 50*e.cfg.RandomCount; tries++ {
-		p := e.RandomPackage()
+		p := e.randomPackage(ep.space)
 		if sig := p.Signature(); !seen[sig] {
 			seen[sig] = true
 			slate.Random = append(slate.Random, p)
@@ -443,16 +574,23 @@ func (e *Engine) Recommend() (*Slate, error) {
 }
 
 // RandomPackage draws a uniformly random size in [1, φ] and that many
-// distinct random items — the exploration packages of §2.2.
+// distinct random items from the current epoch — the exploration packages
+// of §2.2.
 func (e *Engine) RandomPackage() pkgspace.Package {
+	return e.randomPackage(e.sh.epoch().space)
+}
+
+// randomPackage draws the exploration package against a pinned epoch
+// space, so one Recommend never mixes item universes.
+func (e *Engine) randomPackage(sp *feature.Space) pkgspace.Package {
 	size := 1 + e.rng.Intn(e.cfg.MaxPackageSize)
-	if size > len(e.cfg.Items) {
-		size = len(e.cfg.Items)
+	if size > len(sp.Items) {
+		size = len(sp.Items)
 	}
 	picked := make(map[int]bool, size)
 	ids := make([]int, 0, size)
 	for len(ids) < size {
-		id := e.rng.Intn(len(e.cfg.Items))
+		id := e.rng.Intn(len(sp.Items))
 		if !picked[id] {
 			picked[id] = true
 			ids = append(ids, id)
@@ -528,15 +666,17 @@ func (e *Engine) Feedback(winner, loser pkgspace.Package) error {
 }
 
 // TopKForWeights runs Top-k-Pkg for an explicit weight vector — the
-// "oracle" entry point when the utility is known rather than elicited.
+// "oracle" entry point when the utility is known rather than elicited. The
+// epoch is resolved once for the call.
 func (e *Engine) TopKForWeights(w []float64, k int) ([]pkgspace.Scored, error) {
-	u, err := feature.NewUtility(e.space.Profile, w)
+	ep := e.sh.epoch()
+	u, err := feature.NewUtility(ep.space.Profile, w)
 	if err != nil {
 		return nil, err
 	}
 	so := e.cfg.Search
 	so.K = k
-	res, err := e.ix.TopK(u, so)
+	res, err := ep.ix.TopK(u, so)
 	if err != nil {
 		return nil, err
 	}

@@ -396,7 +396,7 @@ func TestSharedEngineEquivalentToNew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if derived.space != sh.space || derived.ix != sh.ix {
+	if derived.Space() != sh.Space() || derived.Index() != sh.Index() {
 		t.Fatal("derived engine rebuilt the shared space/index")
 	}
 	a, b := slate(direct), slate(derived)

@@ -1,0 +1,383 @@
+// Tests for the live-catalogue serving path: epoch-pinned Recommend over a
+// mutable catalog.Catalog, the bit-identical post-swap property, and the
+// race-tested guarantee that concurrent recommends across an epoch swap
+// never observe a torn index or a cross-epoch cached result.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"toppkg/internal/catalog"
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/search"
+)
+
+func liveProfile() *feature.Profile {
+	return feature.SimpleProfile(feature.AggSum, feature.AggAvg)
+}
+
+// liveConfig is the engine configuration both sides of the bit-identical
+// comparison share. Everything that could perturb determinism is pinned.
+func liveConfig() Config {
+	return Config{
+		Profile:        liveProfile(),
+		MaxPackageSize: 3,
+		K:              2,
+		RandomCount:    2,
+		SampleCount:    40,
+		Seed:           7,
+		Search:         search.Options{MaxQueue: 32, MaxAccessed: 100},
+	}
+}
+
+func liveCatalog(t *testing.T, coalesce time.Duration, n int) *catalog.Catalog {
+	t.Helper()
+	cat, err := catalog.New(catalog.Config{
+		Profile:        liveProfile(),
+		MaxPackageSize: 3,
+		Items:          dataset.UNI(n, 2, rand.New(rand.NewSource(3))),
+		Coalesce:       coalesce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// mustSlate builds a fresh engine from sh with the shared seed and runs
+// one Recommend.
+func mustSlate(t *testing.T, sh *Shared) *Slate {
+	t.Helper()
+	eng, err := sh.NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slate
+}
+
+// sameSlate asserts two slates are bit-identical: same recommended
+// packages with bitwise-equal scores, in order, and the same exploration
+// tail.
+func sameSlate(t *testing.T, label string, got, want *Slate) {
+	t.Helper()
+	if len(got.Recommended) != len(want.Recommended) {
+		t.Fatalf("%s: %d recommended, want %d", label, len(got.Recommended), len(want.Recommended))
+	}
+	for i := range want.Recommended {
+		g, w := got.Recommended[i], want.Recommended[i]
+		if g.Pkg.Signature() != w.Pkg.Signature() {
+			t.Fatalf("%s: recommended[%d] = %s, want %s", label, i, g.Pkg.Signature(), w.Pkg.Signature())
+		}
+		if math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("%s: recommended[%d] score %v, want bit-identical %v", label, i, g.Score, w.Score)
+		}
+	}
+	if len(got.Random) != len(want.Random) {
+		t.Fatalf("%s: %d random, want %d", label, len(got.Random), len(want.Random))
+	}
+	for i := range want.Random {
+		if got.Random[i].Signature() != want.Random[i].Signature() {
+			t.Fatalf("%s: random[%d] = %s, want %s", label, i, got.Random[i].Signature(), want.Random[i].Signature())
+		}
+	}
+}
+
+// TestLiveRecommendBitIdenticalAfterMutations is the tentpole's property
+// test: after any Upsert/Delete batch, a Recommend served through the live
+// Shared (with its warm, epoch-keyed result cache) is bit-identical to a
+// fresh engine built statically from the mutated item set — i.e. epoch
+// swaps are semantically invisible, and nothing cached before a swap can
+// leak through it.
+func TestLiveRecommendBitIdenticalAfterMutations(t *testing.T) {
+	cat := liveCatalog(t, -1, 30) // synchronous rebuilds: deterministic
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	nextID := 1000
+	for trial := 0; trial < 10; trial++ {
+		// Random mutation batch: add items, reprice survivors, delete some.
+		switch trial % 3 {
+		case 0: // insert a few brand-new items
+			batch := make([]feature.Item, 1+rng.Intn(3))
+			for i := range batch {
+				batch[i] = feature.Item{ID: nextID, Name: "new", Values: []float64{rng.Float64(), rng.Float64()}}
+				nextID++
+			}
+			if err := cat.Upsert(batch); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // reprice existing items in place (stable IDs unchanged)
+			ep := cat.Current()
+			i := rng.Intn(len(ep.Items()))
+			it := ep.Items()[i]
+			it.ID = ep.StableID(i)
+			it.Values = []float64{rng.Float64(), rng.Float64()}
+			if err := cat.Upsert([]feature.Item{it}); err != nil {
+				t.Fatal(err)
+			}
+		default: // delete a random surviving item
+			ep := cat.Current()
+			if _, err := cat.Delete([]int{ep.StableID(rng.Intn(len(ep.Items())))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		ep := cat.Current()
+		live := mustSlate(t, sh)
+		if live.Epoch != ep.ID {
+			t.Fatalf("trial %d: slate pinned epoch %d, catalogue at %d", trial, live.Epoch, ep.ID)
+		}
+
+		// The oracle: a cold engine over exactly the mutated item set, with
+		// caching disabled so nothing can be reused from anywhere.
+		cfg := liveConfig()
+		cfg.Items = ep.Items()
+		cfg.SearchCacheSize = -1
+		fresh, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSlate(t, "after mutation batch", live, want)
+	}
+	if st := sh.SearchCache().Stats(); st.Epoch == 0 {
+		t.Error("epoch swaps never invalidated the shared result cache")
+	}
+}
+
+// TestStaleCacheNotServedAfterReprice pins the cross-epoch cache hazard
+// directly: warm the cache, change every item's values (which changes
+// every top-k), and verify the next Recommend reflects the new values
+// rather than the cached pre-swap results.
+func TestStaleCacheNotServedAfterReprice(t *testing.T) {
+	cat := liveCatalog(t, -1, 20)
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mustSlate(t, sh) // warms the shared cache for epoch 1
+	_ = before
+
+	ep := cat.Current()
+	rng := rand.New(rand.NewSource(4))
+	batch := make([]feature.Item, len(ep.Items()))
+	for i := range batch {
+		batch[i] = feature.Item{
+			ID:     ep.StableID(i),
+			Name:   ep.Items()[i].Name,
+			Values: []float64{rng.Float64(), rng.Float64()},
+		}
+	}
+	if err := cat.Upsert(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := liveConfig()
+	cfg.Items = cat.Current().Items()
+	cfg.SearchCacheSize = -1
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSlate(t, "after full reprice", mustSlate(t, sh), want)
+}
+
+// TestFeedbackSurvivesEpochSwap: learned state is geometric (constraint
+// vectors computed at feedback time), so a session keeps recommending
+// after the catalogue changes under it.
+func TestFeedbackSurvivesEpochSwap(t *testing.T) {
+	cat := liveCatalog(t, -1, 25)
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sh.NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Click(slate.All[0], slate.All); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Upsert([]feature.Item{{ID: 500, Values: []float64{0.9, 0.9}}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng.Recommend()
+	if err != nil {
+		t.Fatalf("recommend after swap with feedback: %v", err)
+	}
+	if after.Epoch != cat.Current().ID {
+		t.Fatalf("post-swap slate pinned epoch %d, want %d", after.Epoch, cat.Current().ID)
+	}
+	if eng.Stats().Feedback == 0 {
+		t.Fatal("feedback lost across swap")
+	}
+}
+
+// TestClickResolvesAgainstSlateEpoch: a click always refers to the slate
+// the user saw, so its item IDs must be interpreted in — and its
+// preference vectors computed from — that slate's epoch, even after the
+// catalogue shrinks or remaps dense IDs underneath it.
+func TestClickResolvesAgainstSlateEpoch(t *testing.T) {
+	cat := liveCatalog(t, -1, 25)
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sh.NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the catalogue so the slate's highest dense IDs are out of
+	// range in the current epoch, and remap everything below them.
+	ep := cat.Current()
+	if _, err := cat.Delete([]int{ep.StableID(0), ep.StableID(1), ep.StableID(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.FeedbackSpace(); got != slate.Space {
+		t.Fatal("FeedbackSpace is not the last slate's epoch space")
+	}
+	if err := eng.Click(slate.All[0], slate.All); err != nil {
+		t.Fatalf("click on a pre-swap slate rejected: %v", err)
+	}
+	if eng.Stats().Feedback == 0 {
+		t.Fatal("pre-swap click recorded no feedback")
+	}
+	// The next slate moves to the new epoch, and future feedback with it.
+	after, err := eng.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != cat.Current().ID {
+		t.Fatalf("next slate epoch = %d, want %d", after.Epoch, cat.Current().ID)
+	}
+	if got := eng.FeedbackSpace(); got != after.Space {
+		t.Fatal("FeedbackSpace did not advance with the new slate")
+	}
+}
+
+// TestConcurrentRecommendAcrossSwaps is the tentpole's race suite (run
+// under -race): many sessions recommend while the catalogue churns. Each
+// slate must be internally coherent — computed against one epoch, every
+// item ID resolvable in that epoch's space, scores finite — and epochs
+// observed by one session must be monotone.
+func TestConcurrentRecommendAcrossSwaps(t *testing.T) {
+	cat := liveCatalog(t, time.Millisecond, 25)
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 6
+	stop := make(chan struct{})
+	errs := make(chan error, sessions+1)
+	var wg sync.WaitGroup
+
+	// Mutator: inserts, reprices, and deletes only its own high-ID items,
+	// forcing a steady stream of epoch swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(555))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := 2000 + rng.Intn(10)
+			if i%4 == 3 {
+				if _, err := cat.Delete([]int{id}); err != nil {
+					errs <- err
+					return
+				}
+			} else if err := cat.Upsert([]feature.Item{{ID: id, Values: []float64{rng.Float64(), rng.Float64()}}}); err != nil {
+				errs <- err
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			eng, err := sh.NewEngine(int64(s + 1))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var lastEpoch uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				slate, err := eng.Recommend()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if slate.Epoch < lastEpoch {
+					errs <- fmt.Errorf("slate epoch went backwards: %d after %d", slate.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = slate.Epoch
+				n := len(slate.Space.Items)
+				for _, p := range slate.All {
+					for _, id := range p.IDs {
+						if id < 0 || id >= n {
+							errs <- fmt.Errorf("epoch %d slate references item %d outside its %d-item space", slate.Epoch, id, n)
+							return
+						}
+					}
+				}
+				for _, r := range slate.Recommended {
+					if math.IsNaN(r.Score) || math.IsInf(r.Score, 0) {
+						errs <- fmt.Errorf("epoch %d slate has non-finite score %v", slate.Epoch, r.Score)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	cat.Flush()
+	if cat.Current().ID < 2 {
+		t.Fatal("catalogue never swapped during the race window")
+	}
+}

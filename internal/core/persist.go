@@ -77,7 +77,7 @@ func (e *Engine) Restore(s *Snapshot) error {
 	if len(s.Samples) != len(s.Weights) {
 		return fmt.Errorf("core: snapshot has %d samples but %d weights", len(s.Samples), len(s.Weights))
 	}
-	dims := e.space.Dims()
+	dims := e.cfg.Profile.Dims()
 	for i, w := range s.Samples {
 		if len(w) != dims {
 			return fmt.Errorf("core: snapshot sample %d has %d dims, space has %d", i, len(w), dims)

@@ -121,8 +121,13 @@ func groupResults(ix *search.Index, profile *feature.Profile, samples []sampling
 		if !keyable {
 			cache = nil // predicate options: results must not be reused
 		} else {
-			var ep [8]byte
-			binary.LittleEndian.PutUint64(ep[:], cache.Epoch())
+			// Two epochs guard every key: the cache's own invalidation
+			// counter and the catalogue epoch the index was built from, so
+			// neither an Invalidate race nor an index swap race can serve a
+			// result across the boundary.
+			var ep [16]byte
+			binary.LittleEndian.PutUint64(ep[:8], cache.Epoch())
+			binary.LittleEndian.PutUint64(ep[8:], opts.Epoch)
 			keyPrefix = string(ep[:]) + optsKey + "|"
 		}
 	}

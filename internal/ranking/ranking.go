@@ -96,6 +96,11 @@ type Options struct {
 	// options carrying predicate functions bypass the cache; see
 	// search.Options.CacheKey.
 	Cache *Cache
+	// Epoch identifies the catalogue epoch the index was built from; it is
+	// folded into every cache key, so results computed against one epoch
+	// can never be served for another even when a swap races this call.
+	// Static catalogues pass 0.
+	Epoch uint64
 	// Metrics, when non-nil, is overwritten with the pipeline counters of
 	// this call.
 	Metrics *Metrics

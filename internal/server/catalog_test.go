@@ -1,0 +1,213 @@
+// Tests for the catalogue admin API: epoch reporting, upsert/delete
+// batches through HTTP, static-catalogue rejection, and sessions
+// recommending across an admin-triggered epoch swap.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"toppkg/internal/catalog"
+	"toppkg/internal/core"
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/search"
+	"toppkg/internal/session"
+)
+
+// liveServer builds a server over a mutable catalogue with synchronous
+// rebuilds, so admin mutations are visible as soon as the response lands.
+func liveServer(t *testing.T) (*catalog.Catalog, *httptest.Server) {
+	t.Helper()
+	cat, err := catalog.New(catalog.Config{
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 3,
+		Items:          dataset.UNI(30, 2, rand.New(rand.NewSource(301))),
+		Coalesce:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := core.NewLiveShared(core.Config{
+		K:           3,
+		RandomCount: 2,
+		SampleCount: 60,
+		Seed:        4,
+		Search:      search.Options{MaxQueue: 32, MaxAccessed: 100},
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := session.NewManager(session.Config{Shared: sh, Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(mgr, Options{Catalog: cat}))
+	t.Cleanup(ts.Close)
+	return cat, ts
+}
+
+func doDelete(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestCatalogGetAndHealthzEpoch(t *testing.T) {
+	_, ts := liveServer(t)
+	var got struct {
+		Epoch   uint64 `json:"epoch"`
+		Items   int    `json:"items"`
+		Mutable bool   `json:"mutable"`
+	}
+	if resp := getJSON(t, ts.URL+"/catalog", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /catalog = %d", resp.StatusCode)
+	}
+	if got.Epoch != 1 || got.Items != 30 || !got.Mutable {
+		t.Fatalf("GET /catalog = %+v", got)
+	}
+	var hz struct {
+		Catalog struct {
+			Epoch   uint64 `json:"epoch"`
+			Items   int    `json:"items"`
+			Mutable bool   `json:"mutable"`
+		} `json:"catalog"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	if hz.Catalog.Epoch != 1 || hz.Catalog.Items != 30 || !hz.Catalog.Mutable {
+		t.Fatalf("healthz catalog = %+v", hz.Catalog)
+	}
+}
+
+func TestCatalogUpsertAndDelete(t *testing.T) {
+	cat, ts := liveServer(t)
+	v := func(x float64) *float64 { return &x }
+
+	var ack struct {
+		Epoch    uint64 `json:"epoch"`
+		Items    int    `json:"items"`
+		Upserted int    `json:"upserted"`
+	}
+	resp := postJSON(t, ts.URL+"/catalog/items?wait=1", UpsertRequest{Items: []ItemJSON{
+		{ID: 100, Name: "fresh", Values: []*float64{v(0.5), nil}},
+		{ID: 101, Name: "fresh2", Values: []*float64{v(0.1), v(0.2)}},
+	}}, &ack)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /catalog/items = %d", resp.StatusCode)
+	}
+	if ack.Upserted != 2 || ack.Items != 32 || ack.Epoch != 2 {
+		t.Fatalf("upsert ack = %+v", ack)
+	}
+	ep := cat.Current()
+	if d, ok := ep.DenseID(100); !ok || ep.Items()[d].Name != "fresh" {
+		t.Fatalf("upserted item not in epoch: %v %v", d, ok)
+	}
+	if d, _ := ep.DenseID(100); !feature.IsNull(ep.Items()[d].Values[1]) {
+		t.Fatal("JSON null did not map to feature.Null")
+	}
+
+	if resp := doDelete(t, ts.URL+"/catalog/items/100?wait=1"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE /catalog/items/100 = %d", resp.StatusCode)
+	}
+	if _, ok := cat.Current().DenseID(100); ok {
+		t.Fatal("deleted item still in epoch")
+	}
+	if resp := doDelete(t, ts.URL+"/catalog/items/100"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleting a missing item = %d, want 404", resp.StatusCode)
+	}
+	if resp := doDelete(t, ts.URL+"/catalog/items/abc"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deleting a non-numeric id = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCatalogUpsertRejectsBadBatch(t *testing.T) {
+	cat, ts := liveServer(t)
+	v := func(x float64) *float64 { return &x }
+	resp := postJSON(t, ts.URL+"/catalog/items", UpsertRequest{Items: []ItemJSON{
+		{ID: 100, Values: []*float64{v(0.5)}}, // wrong dimensionality
+	}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch = %d, want 400", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/catalog/items", UpsertRequest{}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", resp.StatusCode)
+	}
+	if got := cat.Current().ID; got != 1 {
+		t.Fatalf("rejected batches advanced the epoch to %d", got)
+	}
+}
+
+func TestStaticCatalogRejectsMutations(t *testing.T) {
+	_, ts := testServer(t)
+	var got struct {
+		Epoch   uint64 `json:"epoch"`
+		Mutable bool   `json:"mutable"`
+	}
+	if resp := getJSON(t, ts.URL+"/catalog", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /catalog = %d", resp.StatusCode)
+	}
+	if got.Epoch != 0 || got.Mutable {
+		t.Fatalf("static GET /catalog = %+v", got)
+	}
+	v := func(x float64) *float64 { return &x }
+	resp := postJSON(t, ts.URL+"/catalog/items", UpsertRequest{Items: []ItemJSON{
+		{ID: 1, Values: []*float64{v(1), v(1)}},
+	}}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("static upsert = %d, want 409", resp.StatusCode)
+	}
+	if resp := doDelete(t, ts.URL+"/catalog/items/1"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("static delete = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestRecommendAcrossAdminSwap drives the full HTTP stack: a session
+// recommends, the admin mutates the catalogue, and the next recommend
+// reports the new epoch with item IDs valid in it.
+func TestRecommendAcrossAdminSwap(t *testing.T) {
+	cat, ts := liveServer(t)
+	var s1 SlateJSON
+	if resp := getJSON(t, ts.URL+"/sessions/alice/recommend", &s1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend 1 = %d", resp.StatusCode)
+	}
+	if s1.Epoch != 1 {
+		t.Fatalf("first slate epoch = %d, want 1", s1.Epoch)
+	}
+	v := func(x float64) *float64 { return &x }
+	items := make([]ItemJSON, 5)
+	for i := range items {
+		items[i] = ItemJSON{ID: 200 + i, Name: fmt.Sprintf("drop%d", i), Values: []*float64{v(0.8), v(0.9)}}
+	}
+	if resp := postJSON(t, ts.URL+"/catalog/items?wait=1", UpsertRequest{Items: items}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admin upsert = %d", resp.StatusCode)
+	}
+	var s2 SlateJSON
+	if resp := getJSON(t, ts.URL+"/sessions/alice/recommend", &s2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend 2 = %d", resp.StatusCode)
+	}
+	if s2.Epoch != cat.Current().ID || s2.Epoch < 2 {
+		t.Fatalf("post-swap slate epoch = %d, catalogue at %d", s2.Epoch, cat.Current().ID)
+	}
+	n := len(cat.Current().Items())
+	for _, p := range append(s2.Recommended, s2.Random...) {
+		for _, id := range p.Items {
+			if id < 0 || id >= n {
+				t.Fatalf("post-swap slate references item %d outside %d-item epoch", id, n)
+			}
+		}
+	}
+}

@@ -21,7 +21,21 @@
 //
 //	GET    /sessions                 → {"sessions": [{"id", "last_used", "feedback"}]}
 //	DELETE /sessions/{id}            → drops the session and its snapshot
-//	GET    /healthz                  → {"status": "ok", "sessions": {...}, "search_cache": {...}}
+//	GET    /healthz                  → {"status": "ok", "catalog": {...}, "sessions": {...}, "search_cache": {...}}
+//
+// Catalogue admin endpoints (Options.Catalog; the mutating ones return 409
+// when the process serves a static catalogue):
+//
+//	GET    /catalog                  → {"epoch", "items", ...} catalogue stats
+//	POST   /catalog/items            ← {"items": [{"id", "name", "values"}]} upsert batch
+//	DELETE /catalog/items/{id}       → removes the item with that stable ID
+//
+// Mutations are acknowledged with 202 Accepted: the batch is committed and
+// a fresh epoch is built and swapped in by the background rebuilder.
+// Append ?wait=1 to block until the returned stats reflect an epoch
+// covering the mutation. Item IDs in the admin API are stable catalogue
+// keys; the session API's package item IDs are dense positions in the
+// epoch a slate was computed against.
 //
 // Every error is JSON: {"error": "..."} with a matching status code.
 package server
@@ -31,8 +45,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
+	"toppkg/internal/catalog"
 	"toppkg/internal/core"
+	"toppkg/internal/feature"
 	"toppkg/internal/pkgspace"
 	"toppkg/internal/prefgraph"
 	"toppkg/internal/session"
@@ -62,11 +79,16 @@ type Options struct {
 	// DefaultMaxBodyBytes); snapshot restores get SnapshotBodyFactor times
 	// as much. Oversized payloads get 413.
 	MaxBodyBytes int64
+	// Catalog enables the mutating catalogue admin endpoints. Nil means
+	// the catalogue is static: GET /catalog still reports the (frozen)
+	// epoch, but item mutations return 409.
+	Catalog *catalog.Catalog
 }
 
 // Server routes HTTP requests onto a session manager.
 type Server struct {
 	mgr     *session.Manager
+	cat     *catalog.Catalog // nil = static catalogue
 	mux     *http.ServeMux
 	maxBody int64
 }
@@ -76,10 +98,13 @@ func New(mgr *session.Manager, opts Options) *Server {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), maxBody: opts.MaxBodyBytes}
+	s := &Server{mgr: mgr, cat: opts.Catalog, mux: http.NewServeMux(), maxBody: opts.MaxBodyBytes}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /sessions", s.handleSessions)
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /catalog", s.handleCatalogGet)
+	s.mux.HandleFunc("POST /catalog/items", s.handleCatalogUpsert)
+	s.mux.HandleFunc("DELETE /catalog/items/{id}", s.handleCatalogDelete)
 	// Each session-scoped route is registered twice: under /sessions/{id}
 	// and at the legacy root path (session from X-Session-ID header).
 	for _, ep := range []struct {
@@ -123,16 +148,22 @@ type PackageJSON struct {
 	Score float64  `json:"score,omitempty"`
 }
 
-// SlateJSON is the wire form of a recommendation slate.
+// SlateJSON is the wire form of a recommendation slate. Epoch identifies
+// the catalogue epoch the slate's item IDs are positions in (0 = static
+// catalogue).
 type SlateJSON struct {
 	Recommended []PackageJSON `json:"recommended"`
 	Random      []PackageJSON `json:"random"`
+	Epoch       uint64        `json:"epoch,omitempty"`
 }
 
-func pkgJSON(eng *core.Engine, p pkgspace.Package, score float64) PackageJSON {
+// pkgJSON resolves names against the space of the epoch the slate was
+// computed on — never the engine's current epoch, which a concurrent
+// catalogue swap may have remapped (or shrunk) by serialization time.
+func pkgJSON(sp *feature.Space, p pkgspace.Package, score float64) PackageJSON {
 	names := make([]string, len(p.IDs))
 	for i, id := range p.IDs {
-		names[i] = eng.Space().Items[id].Name
+		names[i] = sp.Items[id].Name
 	}
 	return PackageJSON{Items: append([]int(nil), p.IDs...), Names: names, Score: score}
 }
@@ -144,11 +175,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		out.Epoch = slate.Epoch
 		for _, rec := range slate.Recommended {
-			out.Recommended = append(out.Recommended, pkgJSON(eng, rec.Pkg, rec.Score))
+			out.Recommended = append(out.Recommended, pkgJSON(slate.Space, rec.Pkg, rec.Score))
 		}
 		for _, p := range slate.Random {
-			out.Random = append(out.Random, pkgJSON(eng, p, 0))
+			out.Random = append(out.Random, pkgJSON(slate.Space, p, 0))
 		}
 		return nil
 	})
@@ -287,11 +319,136 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	epoch, items := s.mgr.Shared().EpochInfo()
 	writeJSON(w, map[string]any{
-		"status":       "ok",
+		"status": "ok",
+		"catalog": map[string]any{
+			"epoch":   epoch,
+			"items":   items,
+			"mutable": s.cat != nil,
+		},
 		"sessions":     s.mgr.Stats(), // includes evict_queue depth
 		"search_cache": s.mgr.SearchCacheStats(),
 	})
+}
+
+// ItemJSON is the wire form of one catalogue item in the admin API. ID is
+// the stable catalogue key; Values uses null for missing features.
+type ItemJSON struct {
+	ID     int        `json:"id"`
+	Name   string     `json:"name,omitempty"`
+	Values []*float64 `json:"values"`
+}
+
+// UpsertRequest is the wire form of one catalogue mutation batch.
+type UpsertRequest struct {
+	Items []ItemJSON `json:"items"`
+}
+
+// item converts the wire form to a feature.Item (null → feature.Null).
+func (ij ItemJSON) item() feature.Item {
+	vals := make([]float64, len(ij.Values))
+	for i, v := range ij.Values {
+		if v == nil {
+			vals[i] = feature.Null
+		} else {
+			vals[i] = *v
+		}
+	}
+	return feature.Item{ID: ij.ID, Name: ij.Name, Values: vals}
+}
+
+// errStaticCatalog rejects mutations when no live catalogue is configured.
+var errStaticCatalog = errors.New("catalogue is static; restart with -mutable-catalog to enable item mutations")
+
+func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {
+	if s.cat == nil {
+		epoch, items := s.mgr.Shared().EpochInfo()
+		writeJSON(w, map[string]any{"epoch": epoch, "items": items, "mutable": false})
+		return
+	}
+	st := s.cat.Stats()
+	writeJSON(w, map[string]any{
+		"epoch":        st.Epoch,
+		"items":        st.Items,
+		"mutable":      true,
+		"upserts":      st.Upserts,
+		"deletes":      st.Deletes,
+		"batches":      st.Batches,
+		"rebuilds":     st.Rebuilds,
+		"build_errors": st.BuildErrors,
+		"last_error":   st.LastError,
+		"pending":      st.Pending,
+	})
+}
+
+// finishMutation acknowledges a committed catalogue mutation: with
+// ?wait=1 (any truthy value) it blocks until the swapped-in epoch covers
+// the batch, so the reported stats (and every later request) reflect it.
+// ?wait=0/false stays async, like omitting the parameter.
+func (s *Server) finishMutation(w http.ResponseWriter, r *http.Request, extra map[string]any) {
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		s.cat.Flush()
+	}
+	st := s.cat.Stats()
+	body := map[string]any{"epoch": st.Epoch, "items": st.Items, "pending": st.Pending}
+	for k, v := range extra {
+		body[k] = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleCatalogUpsert(w http.ResponseWriter, r *http.Request) {
+	if s.cat == nil {
+		httpError(w, http.StatusConflict, errStaticCatalog)
+		return
+	}
+	var req UpsertRequest
+	if err := decodeBody(w, r, &req, s.maxBody); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	if len(req.Items) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("items are required"))
+		return
+	}
+	items := make([]feature.Item, len(req.Items))
+	for i, ij := range req.Items {
+		items[i] = ij.item()
+	}
+	if err := s.cat.Upsert(items); err != nil {
+		// Upsert validates before committing, so failures are the
+		// client's malformed batch.
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.finishMutation(w, r, map[string]any{"upserted": len(items)})
+}
+
+func (s *Server) handleCatalogDelete(w http.ResponseWriter, r *http.Request) {
+	if s.cat == nil {
+		httpError(w, http.StatusConflict, errStaticCatalog)
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid item id %q", r.PathValue("id")))
+		return
+	}
+	removed, err := s.cat.Delete([]int{id})
+	if err != nil {
+		// The only commit-time failure is a batch that would empty the
+		// catalogue — the client's error.
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	if removed == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("item %d not in catalogue", id))
+		return
+	}
+	s.finishMutation(w, r, map[string]any{"removed": removed})
 }
 
 // badRequest marks an error as the client's fault (400).
@@ -315,13 +472,16 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) erro
 }
 
 // validatePackages rejects out-of-range item IDs before they reach the
-// engine, so malformed payloads are the client's error, not a 500.
+// engine, so malformed payloads are the client's error, not a 500. IDs are
+// validated against the engine's feedback space — the epoch of the slate
+// the client is reacting to — not the catalogue's current epoch.
 func validatePackages(eng *core.Engine, pkgs []pkgspace.Package) error {
+	sp := eng.FeedbackSpace()
 	for _, p := range pkgs {
 		if len(p.IDs) == 0 {
 			return badRequest{errors.New("empty package")}
 		}
-		if err := pkgspace.ValidateIDs(eng.Space(), p); err != nil {
+		if err := pkgspace.ValidateIDs(sp, p); err != nil {
 			return badRequest{err}
 		}
 	}

@@ -302,3 +302,54 @@ func TestAsyncEvictionChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeleteRacesInFlightEviction: DELETE for a session whose eviction
+// snapshot is mid-write must not let that snapshot resurrect the session.
+// The manager's guarantee is ordering — Delete's store removal queues
+// behind the in-flight save on the session mutex — so after Delete
+// returns, the store is empty for that ID and the next request starts
+// from scratch.
+func TestDeleteRacesInFlightEviction(t *testing.T) {
+	store := newGateStore()
+	m, err := NewManager(Config{Shared: testShared(t), Capacity: 1, Store: store, EvictWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedbackN(t, m, "alice", 2) // learned state: eviction will Save
+	feedbackN(t, m, "bob", 1)   // miss: alice handed to the background writer
+	store.waitSaveStart(t, "alice")
+
+	// Alice's snapshot write is now hanging in the store. Delete must park
+	// behind it rather than racing the file into/out of existence.
+	deleted := make(chan error, 1)
+	go func() { deleted <- m.Delete("alice") }()
+	select {
+	case err := <-deleted:
+		t.Fatalf("Delete returned (%v) while the eviction save was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(store.release)
+	select {
+	case err := <-deleted:
+		if err != nil {
+			t.Fatalf("Delete after in-flight save: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Delete never completed after the save was released")
+	}
+	if _, err := store.Load("alice"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("deleted session's eviction snapshot survived: %v", err)
+	}
+	// The next request must start fresh, not resurrect evicted state.
+	err = m.Do("alice", func(eng *core.Engine) error {
+		if n := eng.Stats().Feedback; n != 0 {
+			return fmt.Errorf("deleted session resurrected with %d feedback", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+}

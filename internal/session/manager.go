@@ -82,6 +82,10 @@ type Stats struct {
 	Misses int64 `json:"misses"`
 	// SaveErrors counts snapshots lost because Store.Save failed.
 	SaveErrors int64 `json:"save_errors"`
+	// RestoreFailures counts sessions started fresh because their snapshot
+	// existed but could not be restored (corrupt, or incompatible with the
+	// current catalogue epoch); the failed snapshot is dropped.
+	RestoreFailures int64 `json:"restore_failures"`
 	// EvictQueue is the number of evictions currently queued on or being
 	// written by the background writer (not monotone).
 	EvictQueue int `json:"evict_queue"`
@@ -98,15 +102,16 @@ type Manager struct {
 	store    Store
 	seeds    func(string) int64
 
-	mu       sync.Mutex // guards table, lru, stats; never held across engine work
-	table    map[string]*session
-	lru      *list.List // of *session; front = most recently acquired
-	created  int64
-	restored int64
-	evicted  int64
-	hits     int64
-	misses   int64
-	saveErrs int64
+	mu           sync.Mutex // guards table, lru, stats; never held across engine work
+	table        map[string]*session
+	lru          *list.List // of *session; front = most recently acquired
+	created      int64
+	restored     int64
+	evicted      int64
+	hits         int64
+	misses       int64
+	saveErrs     int64
+	restoreFails int64
 
 	// Background eviction: victims queue on evictq; pending counts queued
 	// plus in-flight saves; evictDone signals pending reaching zero.
@@ -371,6 +376,18 @@ func (m *Manager) newEngine(id string) (eng *core.Engine, restored bool, err err
 		return nil, false, err
 	}
 	if err := eng.Restore(snap); err != nil {
+		// An unrestorable snapshot (corrupt file, or item IDs out of range
+		// after a live-catalogue shrink) must not brick the session: every
+		// request would re-attempt the same restore and 500 forever. Drop
+		// the snapshot (so the failure is not retried), count the loss,
+		// and start the session fresh.
+		m.mu.Lock()
+		m.restoreFails++
+		m.mu.Unlock()
+		_, _ = m.store.Delete(id)
+		if fresh, ferr := m.shared.NewEngine(m.seeds(id)); ferr == nil {
+			return fresh, false, nil
+		}
 		return nil, false, fmt.Errorf("session: restoring %q: %w", id, err)
 	}
 	return eng, true, nil
@@ -458,6 +475,10 @@ func (m *Manager) Shutdown() {
 	m.Flush()
 }
 
+// Shared exposes the catalogue-wide engine factory the manager serves
+// from (e.g. for epoch reporting in health checks).
+func (m *Manager) Shared() *core.Shared { return m.shared }
+
 // SearchCacheStats reports the shared Top-k-Pkg result cache's counters —
 // the cache is per-catalogue, so one set of counters covers every session
 // this manager serves. Zero when the catalogue disabled caching.
@@ -488,6 +509,7 @@ func (m *Manager) Stats() Stats {
 		Hits:               m.hits,
 		Misses:             m.misses,
 		SaveErrors:         m.saveErrs,
+		RestoreFailures:    m.restoreFails,
 		EvictQueue:         m.pending,
 		EvictSyncFallbacks: m.syncFalls,
 	}

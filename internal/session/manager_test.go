@@ -152,7 +152,7 @@ func TestLRUEvictionWithoutStoreDropsState(t *testing.T) {
 	if got != 0 {
 		t.Errorf("re-created alice Feedback = %d, want 0 (no store)", got)
 	}
-	m.Flush() // re-creating alice evicted another session in the background
+	m.Flush()                            // re-creating alice evicted another session in the background
 	if st := m.Stats(); st.Evicted < 2 { // alice once, then bob or carol
 		t.Errorf("Evicted = %d, want ≥ 2", st.Evicted)
 	}
@@ -511,5 +511,38 @@ func TestEvictionClearsStaleSnapshotOnReset(t *testing.T) {
 	}
 	if got != 0 {
 		t.Errorf("reset session resurrected %d feedbacks from a stale snapshot", got)
+	}
+}
+
+// TestUnrestorableSnapshotStartsFresh: a snapshot that no longer matches
+// the catalogue (e.g. item IDs out of range after a live-catalogue
+// shrink, or a corrupt file) must not brick the session with an endless
+// restore-and-500 loop: the manager drops the snapshot, counts the loss,
+// and serves a fresh session.
+func TestUnrestorableSnapshotStartsFresh(t *testing.T) {
+	store := NewMemStore()
+	// Item ID 1000 is far outside testShared's 40-item space.
+	bad := &core.Snapshot{
+		Version:     1,
+		Preferences: []core.PreferencePair{{Winner: []int{1000}, Loser: []int{1}}},
+	}
+	if err := store.Save("alice", bad); err != nil {
+		t.Fatal(err)
+	}
+	m := testManager(t, 4, store)
+	err := m.Do("alice", func(eng *core.Engine) error {
+		if n := eng.Stats().Feedback; n != 0 {
+			t.Errorf("session restored from unrestorable snapshot: feedback %d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("request after unrestorable snapshot: %v", err)
+	}
+	if st := m.Stats(); st.RestoreFailures != 1 || st.Restored != 0 || st.Created != 1 {
+		t.Fatalf("stats = %+v, want RestoreFailures 1, Restored 0, Created 1", st)
+	}
+	if _, err := store.Load("alice"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("unrestorable snapshot not dropped: %v", err)
 	}
 }

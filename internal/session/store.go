@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"toppkg/internal/core"
 )
@@ -87,12 +90,60 @@ type DirStore struct {
 	dir string
 }
 
-// NewDirStore creates the directory if needed and returns a store over it.
+// sweepMinAge is how old a temp file must be before NewDirStore treats it
+// as an orphan: another process sharing the directory may have a Save in
+// flight, and sweeping its live temp file would break that Save's rename.
+// No healthy snapshot write stays in flight for an hour.
+const sweepMinAge = time.Hour
+
+// NewDirStore creates the directory if needed, sweeps temp files orphaned
+// by writes interrupted mid-Save (a crash between CreateTemp and Rename),
+// and returns a store over it.
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("session: snapshot dir: %w", err)
 	}
+	// Orphaned temp files are invisible to Load (ValidID rejects leading
+	// dots), so the sweep is purely hygiene: without it a crashy deploy
+	// grows the directory without bound. Only temps past sweepMinAge go —
+	// a younger one may be another process's in-flight Save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("session: snapshot dir: %w", err)
+	}
+	cutoff := time.Now().Add(-sweepMinAge)
+	for _, e := range entries {
+		if e.IsDir() || !isSaveTempName(e.Name()) {
+			continue
+		}
+		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 	return &DirStore{dir: dir}, nil
+}
+
+// isSaveTempName matches exactly the names Save's CreateTemp produces —
+// "." + id + ".tmp" + random digits — so the sweep cannot touch unrelated
+// dotfiles that merely contain ".tmp" somewhere.
+func isSaveTempName(name string) bool {
+	if !strings.HasPrefix(name, ".") {
+		return false
+	}
+	i := strings.LastIndex(name, ".tmp")
+	if i <= 1 { // need a non-empty id between the leading dot and ".tmp"
+		return false
+	}
+	suffix := name[i+len(".tmp"):]
+	if suffix == "" {
+		return false
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return ValidID(name[1:i])
 }
 
 func (ds *DirStore) path(id string) (string, error) {
@@ -102,8 +153,12 @@ func (ds *DirStore) path(id string) (string, error) {
 	return filepath.Join(ds.dir, id+".json"), nil
 }
 
-// Save implements Store, writing atomically (temp file + rename) so a
-// crash mid-write never leaves a truncated snapshot.
+// Save implements Store, writing atomically and durably: the temp file is
+// fsynced before the rename (so the data reaches disk before the name
+// does) and the directory is fsynced after (so the rename itself survives
+// a crash). Without the first sync a power cut can leave a complete-
+// looking snapshot file full of zeros; without the second the rename may
+// simply vanish.
 func (ds *DirStore) Save(id string, s *core.Snapshot) error {
 	p, err := ds.path(id)
 	if err != nil {
@@ -118,13 +173,39 @@ func (ds *DirStore) Save(id string, s *core.Snapshot) error {
 		tmp.Close()
 		return fmt.Errorf("session: snapshot save %s: %w", id, err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("session: snapshot save %s: %w", id, err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("session: snapshot save %s: %w", id, err)
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		return fmt.Errorf("session: snapshot save %s: %w", id, err)
 	}
+	if err := syncDir(ds.dir); err != nil {
+		return fmt.Errorf("session: snapshot save %s: %w", id, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Windows
+// neither supports nor needs fsync on directory handles (metadata is
+// durable with the file there), so it is a no-op rather than a spurious
+// Save failure.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load implements Store.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"toppkg/internal/core"
 )
@@ -136,5 +137,67 @@ func TestDirStoreSurvivesReopen(t *testing.T) {
 	}
 	if got.Stats.Feedback != 1 {
 		t.Errorf("reopened snapshot: %+v", got)
+	}
+}
+
+func TestNewDirStoreSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash mid-Save: old orphaned temp files next to a fresh
+	// one (possibly another process's in-flight Save) and an unrelated
+	// dotfile; only the old orphans may be swept.
+	stale := time.Now().Add(-2 * sweepMinAge)
+	for _, name := range []string{".alice.tmp123456", ".bob.tmp7"} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".carol.tmp9"), []byte("in-flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Old files the sweep must NOT touch: a plain dotfile, and dotfiles
+	// that contain ".tmp" but do not match Save's temp-name shape.
+	for _, name := range []string{".keepme", ".notes.tmpl", ".config.tmp.bak"} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Save("alice", sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	for _, leftover := range []string{".alice.tmp123456", ".bob.tmp7"} {
+		if _, err := os.Stat(filepath.Join(dir, leftover)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphaned temp file %s survived NewDirStore (dir: %v)", leftover, names)
+		}
+	}
+	for _, keep := range []string{".keepme", ".notes.tmpl", ".config.tmp.bak"} {
+		if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
+			t.Errorf("sweep removed unrelated file %s: %v (dir: %v)", keep, err, names)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".carol.tmp9")); err != nil {
+		t.Errorf("sweep removed a fresh temp file (could be another process's in-flight save): %v", err)
+	}
+	if _, err := ds.Load("alice"); err != nil {
+		t.Errorf("snapshot unusable after sweep+save: %v", err)
 	}
 }
