@@ -31,11 +31,13 @@ lint:
 # criterion measures (cache warm across feedback rounds). ChurnRecommend
 # runs fixed iterations too: its per-op cost is deliberately
 # non-stationary (epoch swaps land mid-loop), which defeats go test's
-# time-based iteration estimation.
+# time-based iteration estimation. ChurnRestore pairs with it: the cost of
+# restoring a stable-ID snapshot after k mutation batches.
 bench:
 	@{ $(GO) test -run '^$$' -bench 'Fig6TopKPkg' -benchmem -benchtime 500ms . ; \
 	   $(GO) test -run '^$$' -bench 'Fig8' -benchmem -benchtime 20x . ; \
-	   $(GO) test -run '^$$' -bench 'ChurnRecommend' -benchmem -benchtime 40x . ; } \
+	   $(GO) test -run '^$$' -bench 'ChurnRecommend' -benchmem -benchtime 40x . ; \
+	   $(GO) test -run '^$$' -bench 'ChurnRestore' -benchmem -benchtime 40x . ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_recommend.json
 	@echo wrote BENCH_recommend.json
 

@@ -552,6 +552,109 @@ func BenchmarkChurnRecommend(b *testing.B) {
 	}
 }
 
+// --- Live catalogue: snapshot restore cost under churn. ---
+
+// BenchmarkChurnRestore measures Restore of a stable-ID (v2) snapshot
+// after the catalogue absorbed k mutation batches since the save — the
+// remap + vector-recompute + graph-rebuild work every miss-restore pays
+// under churn. Each iteration applies churnRestoreBatches batches (a
+// rolling delete window, the previous window re-added, reprices) outside
+// the timer, then restores the same snapshot against the churned epoch;
+// dropped_items/op reports how much learned state the churn cost.
+const churnRestoreBatches = 8
+
+func BenchmarkChurnRestore(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	items := dataset.UNI(500, 5, rng)
+	cat, err := catalog.New(catalog.Config{
+		Profile:        benchProfile(5),
+		MaxPackageSize: 5,
+		Items:          items,
+		Coalesce:       -1, // synchronous: batches outside the timer, deterministic epochs
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := core.NewLiveShared(core.Config{
+		K:           5,
+		RandomCount: 5,
+		SampleCount: 60,
+		Seed:        12,
+		Parallelism: -1,
+		Search:      search.Options{MaxQueue: 64, MaxAccessed: 120},
+	}, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sh.NewEngine(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user := simulate.NewRandomUser(cat.Profile(), rng)
+	for round := 0; round < 6; round++ { // accumulate a realistic preference graph
+		slate, err := eng.Recommend()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pick := user.Choose(slate.Space, slate.All, rng)
+		if err := eng.Click(slate.All[pick], slate.All); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap := eng.Snapshot()
+
+	window := func(i int) []int {
+		base := (i * 7) % 450
+		return []int{base, base + 1, base + 2}
+	}
+	reprice := func(id int) feature.Item {
+		return feature.Item{ID: id, Name: items[id].Name, Values: []float64{
+			rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(),
+		}}
+	}
+	var droppedItems, droppedPrefs, edges int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if i > 0 { // the previous window returns, keeping the catalogue size steady
+			prev := window(i - 1)
+			back := make([]feature.Item, len(prev))
+			for j, id := range prev {
+				back[j] = reprice(id)
+			}
+			if err := cat.Upsert(back); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := cat.Delete(window(i)); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < churnRestoreBatches-2; k++ {
+			if err := cat.Upsert([]feature.Item{reprice((i*13 + k*37) % 500)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		restored, err := sh.NewEngine(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := restored.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		di, dp := restored.RestoreDrops()
+		droppedItems += di
+		droppedPrefs += dp
+		edges += restored.Graph().Edges()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(droppedItems)/float64(b.N), "dropped_items/op")
+	b.ReportMetric(float64(droppedPrefs)/float64(b.N), "dropped_prefs/op")
+	b.ReportMetric(float64(edges)/float64(b.N), "edges/op")
+}
+
 // --- Ablation: the paper's line-3 pruning vs exact ExpandAll. ---
 
 func BenchmarkAblationExpandAll(b *testing.B) {

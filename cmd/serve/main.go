@@ -164,13 +164,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var droppedItems, droppedPrefs int
 		err = mgr.Do(server.DefaultSessionID, func(eng *core.Engine) error {
-			return eng.Restore(snap)
+			if err := eng.Restore(snap); err != nil {
+				return err
+			}
+			droppedItems, droppedPrefs = eng.LastRestoreDrops()
+			return nil
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("restored default session from %s", *restore)
+		if droppedItems > 0 || droppedPrefs > 0 {
+			log.Printf("restored default session from %s (snapshot v%d predates the current catalogue: dropped %d vanished items, %d preferences)",
+				*restore, snap.Version, droppedItems, droppedPrefs)
+		} else {
+			log.Printf("restored default session from %s", *restore)
+		}
 	}
 	if *pprof != "" {
 		// A separate listener keeps the profiling surface off the serving

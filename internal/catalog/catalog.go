@@ -24,7 +24,9 @@
 package catalog
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -69,24 +71,69 @@ type Epoch struct {
 	Space *feature.Space
 	// Index is the Top-k-Pkg search index over Space.
 	Index *search.Index
+	// ids is the stable↔dense translation for this epoch.
+	ids *IDMap
+}
+
+// IDMap is the immutable stable↔dense ID translation of one epoch. It is
+// shareable on its own: holders translating IDs for a retired epoch (e.g.
+// a session whose last slate predates a swap) keep only the mapping, not
+// the epoch's search index, so an idle session does not pin a dead index
+// in memory.
+type IDMap struct {
 	// stable[i] is the stable catalogue ID of dense item i.
 	stable []int
 	// dense maps stable ID → dense index.
 	dense map[int]int
+	// hash fingerprints the assignment (see Hash).
+	hash uint64
+}
+
+// Len returns the number of items the mapping covers.
+func (m *IDMap) Len() int { return len(m.stable) }
+
+// Hash fingerprints the stable→dense assignment: IDMapHash over the
+// stable IDs in dense order. Two epochs with equal hashes give every
+// dense position the same stable identity, so learned state keyed by
+// stable IDs refers to the same dense items under both.
+func (m *IDMap) Hash() uint64 { return m.hash }
+
+// IDMapHash digests a stable-ID slice in dense order — the shared
+// fingerprint function, exported so a static deployment (whose stable
+// identity is the dense positions themselves) hashes identically to a
+// live epoch that assigns stable ID i to dense item i.
+func IDMapHash(stable []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range stable {
+		binary.LittleEndian.PutUint64(buf[:], uint64(s))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// StableID returns the stable catalogue ID of dense item i.
+func (m *IDMap) StableID(i int) int { return m.stable[i] }
+
+// DenseID returns the dense index of the item with the given stable ID,
+// and whether it exists in this mapping.
+func (m *IDMap) DenseID(stable int) (int, bool) {
+	i, ok := m.dense[stable]
+	return i, ok
 }
 
 // Items returns the epoch's dense item slice (do not mutate).
 func (ep *Epoch) Items() []feature.Item { return ep.Space.Items }
 
+// IDs returns the epoch's stable↔dense translation.
+func (ep *Epoch) IDs() *IDMap { return ep.ids }
+
 // StableID returns the stable catalogue ID of dense item i.
-func (ep *Epoch) StableID(i int) int { return ep.stable[i] }
+func (ep *Epoch) StableID(i int) int { return ep.ids.StableID(i) }
 
 // DenseID returns the dense index of the item with the given stable ID,
 // and whether it exists in this epoch.
-func (ep *Epoch) DenseID(stable int) (int, bool) {
-	i, ok := ep.dense[stable]
-	return i, ok
-}
+func (ep *Epoch) DenseID(stable int) (int, bool) { return ep.ids.DenseID(stable) }
 
 // Stats is a point-in-time view of the catalogue's activity.
 type Stats struct {
@@ -391,16 +438,11 @@ func buildEpoch(items []feature.Item, stable []int, p *feature.Profile, maxSize 
 	if err != nil {
 		return nil, fmt.Errorf("catalog: building epoch over %d items: %w", len(items), err)
 	}
-	ep := &Epoch{
-		Space:  space,
-		Index:  search.NewIndex(space),
-		stable: stable,
-		dense:  make(map[int]int, len(stable)),
-	}
+	ids := &IDMap{stable: stable, dense: make(map[int]int, len(stable)), hash: IDMapHash(stable)}
 	for i, s := range stable {
-		ep.dense[s] = i
+		ids.dense[s] = i
 	}
-	return ep, nil
+	return &Epoch{Space: space, Index: search.NewIndex(space), ids: ids}, nil
 }
 
 // Flush blocks until the current epoch covers every mutation batch

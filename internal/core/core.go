@@ -140,6 +140,15 @@ type Stats struct {
 	MaintenanceWork int
 	// SampleAttempts accumulates raw sampler draws.
 	SampleAttempts int
+	// RestoreDroppedItems counts item occurrences silently removed from
+	// restored preferences because the item had vanished from the catalogue
+	// between snapshot and restore; RestoreDroppedPrefs counts preferences
+	// dropped entirely (a side emptied out, both sides collapsed to the
+	// same package, or the remapped preference contradicted a surviving
+	// one). Both accumulate across a session's restores — nonzero values
+	// are silent preference loss an operator should be able to see.
+	RestoreDroppedItems int
+	RestoreDroppedPrefs int
 	// RankSamples, RankDistinct, RankCacheHits, and RankSearches
 	// accumulate the Recommend pipeline's batching counters across rounds:
 	// weight vectors ranked, distinct vectors left after
@@ -179,17 +188,58 @@ type Engine struct {
 	graph *prefgraph.Graph
 	pool  *maintain.Pool
 	stats Stats
-	// fbSpace is the space of the most recent slate this engine served.
+	// lastDropItems/lastDropPrefs are the drop counts of the most recent
+	// Restore on this engine (not cumulative — see Stats for that), so
+	// callers reporting a single restore's loss need no arithmetic against
+	// the snapshot's own counters.
+	lastDropItems int
+	lastDropPrefs int
+	// fb is the identity view of the most recent slate this engine served:
+	// that slate's epoch ID, feature space, and stable↔dense ID mapping.
 	// Clicks and pairwise feedback refer to packages the user was shown,
 	// so their item IDs are dense positions in — and their preference
-	// vectors must be computed from — that slate's epoch, not whatever the
-	// catalogue has swapped to since. Only the space is retained (not the
-	// whole epoch view) so an idle session does not pin a retired epoch's
+	// vectors must be computed from, and their stable node identity
+	// resolved through — that slate's epoch, not whatever the catalogue
+	// has swapped to since. Only the space and ID map are retained (not
+	// the whole epoch) so an idle session does not pin a retired epoch's
 	// search index in memory. Nil until the first Recommend (feedback then
-	// resolves the current epoch, the pre-live behavior); not persisted,
-	// so a session restored from an eviction snapshot starts over on the
-	// current epoch (see Snapshot).
-	fbSpace *feature.Space
+	// resolves the current epoch, the pre-live behavior); not persisted —
+	// Restore re-pins the restore-time epoch (see Snapshot).
+	fb *fbView
+}
+
+// fbView is the lightweight slice of an epoch that feedback resolution
+// needs: dense item IDs are interpreted in space, and translated to stable
+// catalogue identity through ids (nil for a static catalogue, where dense
+// positions are the stable keys).
+type fbView struct {
+	id    uint64
+	space *feature.Space
+	ids   *catalog.IDMap
+	// idh fingerprints the stable→dense assignment (identity for a
+	// static catalogue): combined with space.Hash it identifies both the
+	// vector geometry and the identity labeling of learned state.
+	idh uint64
+}
+
+// stableIDs translates a package's dense member IDs into stable catalogue
+// IDs. With a nil map (static catalogue) dense positions are the stable
+// identity.
+func (v fbView) stableIDs(p pkgspace.Package) []int {
+	if v.ids == nil {
+		return append([]int(nil), p.IDs...)
+	}
+	out := make([]int, len(p.IDs))
+	for i, d := range p.IDs {
+		out[i] = v.ids.StableID(d)
+	}
+	return out
+}
+
+// stablePkg is the package's stable-ID identity — the key learned state is
+// stored under, immune to dense-ID remaps across epochs.
+func (v fbView) stablePkg(p pkgspace.Package) pkgspace.Package {
+	return pkgspace.New(v.stableIDs(p)...)
 }
 
 // Shared is the catalogue-wide half of an engine: the normalized
@@ -211,23 +261,34 @@ type Shared struct {
 	ix    *search.Index
 	cat   *catalog.Catalog // live catalogue (nil for static)
 	cache *ranking.Cache
+	// idh is the static epoch's identity stable→dense hash (stable ID i
+	// IS dense position i); unused when cat != nil.
+	idh uint64
 }
 
 // epochView is one resolved, coherent catalogue epoch: everything a single
-// request needs. For a static Shared the ID is always 0.
+// request needs. For a static Shared the ID is always 0 and ids is nil
+// (dense positions are the stable identity).
 type epochView struct {
 	id    uint64
 	space *feature.Space
 	ix    *search.Index
+	ids   *catalog.IDMap
+	idh   uint64
 }
 
 // epoch resolves the current epoch: wait-free, never blocks on a rebuild.
 func (sh *Shared) epoch() epochView {
 	if sh.cat != nil {
 		ep := sh.cat.Current()
-		return epochView{id: ep.ID, space: ep.Space, ix: ep.Index}
+		return epochView{id: ep.ID, space: ep.Space, ix: ep.Index, ids: ep.IDs(), idh: ep.IDs().Hash()}
 	}
-	return epochView{id: 0, space: sh.space, ix: sh.ix}
+	return epochView{id: 0, space: sh.space, ix: sh.ix, idh: sh.idh}
+}
+
+// view is the feedback-identity slice of the epoch.
+func (ep epochView) view() fbView {
+	return fbView{id: ep.id, space: ep.space, ids: ep.ids, idh: ep.idh}
 }
 
 // normalizeConfig applies the paper's defaults and validates everything
@@ -292,7 +353,20 @@ func NewShared(cfg Config) (*Shared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Shared{cfg: cfg, space: space, ix: search.NewIndex(space), cache: newCache(cfg)}, nil
+	// A static catalogue's stable identity is its dense positions; hashing
+	// the identity assignment here lets static and live deployments with
+	// the same effective mapping agree on snapshot identity hashes.
+	identity := make([]int, len(space.Items))
+	for i := range identity {
+		identity[i] = i
+	}
+	return &Shared{
+		cfg:   cfg,
+		space: space,
+		ix:    search.NewIndex(space),
+		cache: newCache(cfg),
+		idh:   catalog.IDMapHash(identity),
+	}, nil
 }
 
 // NewLiveShared builds a Shared over a mutable catalogue: engines resolve
@@ -418,6 +492,21 @@ func (e *Engine) Stats() Stats {
 // without recomputing the reduced constraint set (unlike Stats).
 func (e *Engine) FeedbackCount() int { return e.stats.Feedback }
 
+// RestoreDrops reports the cumulative restore-time loss counters (items
+// dropped from remapped preferences, preferences dropped entirely) without
+// recomputing the reduced constraint set (unlike Stats).
+func (e *Engine) RestoreDrops() (items, prefs int) {
+	return e.stats.RestoreDroppedItems, e.stats.RestoreDroppedPrefs
+}
+
+// LastRestoreDrops reports what the most recent Restore on this engine
+// dropped — zero if it never restored. Unlike RestoreDrops this is not
+// cumulative across the session's history, so operators reporting one
+// restore's loss read it directly.
+func (e *Engine) LastRestoreDrops() (items, prefs int) {
+	return e.lastDropItems, e.lastDropPrefs
+}
+
 // Graph exposes the preference DAG (read-mostly; use Feedback to mutate).
 func (e *Engine) Graph() *prefgraph.Graph { return e.graph }
 
@@ -427,14 +516,24 @@ func (e *Engine) Graph() *prefgraph.Graph { return e.graph }
 // must use it rather than Space(), or a catalogue swap between a slate and
 // its click would misread (or reject) the slate's item IDs.
 func (e *Engine) FeedbackSpace() *feature.Space {
-	if e.fbSpace == nil {
+	return e.feedbackView().space
+}
+
+// FeedbackEpoch is the catalogue epoch feedback identity currently
+// resolves against: the most recent slate's (or restore's) epoch.
+func (e *Engine) FeedbackEpoch() uint64 { return e.feedbackView().id }
+
+// feedbackView resolves the identity view feedback is interpreted in.
+func (e *Engine) feedbackView() fbView {
+	if e.fb == nil {
 		// Memoize the fallback: a click arriving before this incarnation's
 		// first Recommend (e.g. right after an eviction restore) must
 		// validate and vectorize winner and loser against ONE epoch, not
 		// re-resolve per call with a swap possibly landing in between.
-		e.fbSpace = e.sh.epoch().space
+		v := e.sh.epoch().view()
+		e.fb = &v
 	}
-	return e.fbSpace
+	return *e.fb
 }
 
 // PackageVector computes the normalized aggregate vector of a package
@@ -555,7 +654,8 @@ func (e *Engine) Recommend() (*Slate, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: ranking: %w", err)
 	}
-	e.fbSpace = ep.space // feedback on this slate resolves against its epoch
+	fv := ep.view()
+	e.fb = &fv // feedback on this slate resolves against its epoch
 	slate := &Slate{Recommended: ranked, Epoch: ep.id, Space: ep.space}
 	seen := make(map[string]bool, len(ranked)+e.cfg.RandomCount)
 	for _, r := range ranked {
@@ -623,7 +723,15 @@ func (e *Engine) Click(chosen pkgspace.Package, shown []pkgspace.Package) error 
 // preference DAG, and maintains the sample pool: samples violating the new
 // constraint are replaced by fresh draws from the feedback-aware sampler
 // (§3.4).
+//
+// Dense item IDs are interpreted in — and preference vectors computed from
+// — the feedback view (the most recent slate's epoch), but the preference
+// is stored in the graph under the packages' stable catalogue identity: a
+// package re-encountered after a dense-ID remap is the same node, and one
+// first seen under an older epoch has its vector refreshed from the
+// feedback view's space rather than reusing the stale geometry.
 func (e *Engine) Feedback(winner, loser pkgspace.Package) error {
+	fv := e.feedbackView()
 	wv, err := e.PackageVector(winner)
 	if err != nil {
 		return err
@@ -632,18 +740,32 @@ func (e *Engine) Feedback(winner, loser pkgspace.Package) error {
 	if err != nil {
 		return err
 	}
-	if err := e.graph.AddPreference(winner, wv, loser, lv); err != nil {
+	sw, sl := fv.stablePkg(winner), fv.stablePkg(loser)
+	refreshed, err := e.graph.AddPreferenceAt(fv.id, sw, wv, sl, lv)
+	if refreshed {
+		// A known package resurfaced under a newer epoch and its vector
+		// was refreshed, which rewrote the constraint of every edge
+		// touching it — not just the edge added here. Incremental
+		// maintenance against the one new constraint would leave samples
+		// violating the rewritten ones, so the pool is redrawn under the
+		// full rebuilt constraint set instead (mirroring Restore's
+		// cross-epoch rule). This holds even when the edge itself is
+		// rejected as a cycle or duplicate: the vector update has already
+		// happened by then.
+		e.pool = nil
+	}
+	if err != nil {
 		return err
 	}
 	e.stats.Feedback++
 	if e.pool == nil {
-		return nil // pool will be drawn under the full constraint set
+		return nil // pool will be (re)drawn under the full constraint set
 	}
 	diff := make([]float64, len(wv))
 	for i := range diff {
 		diff[i] = wv[i] - lv[i]
 	}
-	c := prefgraph.Constraint{Winner: winner, Loser: loser, Diff: diff}
+	c := prefgraph.Constraint{Winner: sw, Loser: sl, Diff: diff}
 	s, err := e.Sampler()
 	if err != nil {
 		return err

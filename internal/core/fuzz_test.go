@@ -24,6 +24,18 @@ func FuzzReadSnapshot(f *testing.F) {
 	f.Add([]byte(`{"version":1,"stats":{"Feedback":-1}}`))
 	f.Add([]byte("\x00\x01\x02garbage"))
 	f.Add([]byte(`{"version":1,"samples":` + strings.Repeat("[", 64) + strings.Repeat("]", 64) + `}`))
+	// Wire format v2: stable IDs + capture epoch.
+	f.Add([]byte(`{"version":2,"epoch":7,"preferences":[{"winner":[5,900],"loser":[7]}],"samples":[[0.1,0.2]],"weights":[1]}`))
+	f.Add([]byte(`{"version":2,"epoch":18446744073709551615,"preferences":[{"winner":[2147483647],"loser":[0]}]}`))
+	f.Add([]byte(`{"version":2,"samples":[[0.5]],"weights":[]}`))
+	f.Add([]byte(`{"version":2,"preferences":[{"winner":[],"loser":[1]}]}`))
+	// Malformed versions and mixed v1/v2 shapes: a v3 must be rejected, a
+	// v1 carrying an epoch and a v2 without one must both round-trip.
+	f.Add([]byte(`{"version":3,"epoch":1,"preferences":[{"winner":[0],"loser":[1]}]}`))
+	f.Add([]byte(`{"version":-1}`))
+	f.Add([]byte(`{"version":1,"epoch":9,"preferences":[{"winner":[0],"loser":[1]}]}`))
+	f.Add([]byte(`{"version":2,"preferences":[{"winner":[3],"loser":[1]}],"stats":{"RestoreDroppedItems":5}}`))
+	f.Add([]byte(`{"version":2,"epoch":4,"space_hash":1234567890123456789,"preferences":[{"winner":[0],"loser":[1]}],"samples":[[0.1,0.2]],"weights":[1]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ReadSnapshot(bytes.NewReader(data))
 		if err != nil {
@@ -54,18 +66,31 @@ func FuzzReadSnapshot(f *testing.F) {
 // TestRestoreRejectsHostileSnapshots: snapshots that decode fine but do
 // not fit the engine's space must error out of Restore, never panic —
 // this is what stands between a corrupted store file and a crashed
-// serving process.
+// serving process. v2 treats unknown stable IDs as churn (dropped, see
+// TestRestoreV2DropsVanished), so its hostile class is smaller: structural
+// corruption, not unknown items.
 func TestRestoreRejectsHostileSnapshots(t *testing.T) {
 	eng := persistEngine(t) // 2-dim space over 30 items
 	for name, snap := range map[string]*Snapshot{
-		"nil":            nil,
-		"wrong version":  {Version: 99},
-		"dim mismatch":   {Version: 1, Samples: [][]float64{{1, 2, 3}}, Weights: []float64{1}},
-		"count mismatch": {Version: 1, Samples: [][]float64{{1, 2}}, Weights: nil},
-		"bad item id":    {Version: 1, Preferences: []PreferencePair{{Winner: []int{10000}, Loser: []int{0}}}},
-		"negative id":    {Version: 1, Preferences: []PreferencePair{{Winner: []int{-1}, Loser: []int{0}}}},
-		"empty package":  {Version: 1, Preferences: []PreferencePair{{Winner: nil, Loser: []int{0}}}},
-		"self loop":      {Version: 1, Preferences: []PreferencePair{{Winner: []int{0}, Loser: []int{0}}}},
+		"nil":               nil,
+		"wrong version":     {Version: 99},
+		"future version":    {Version: 3},
+		"dim mismatch":      {Version: 1, Samples: [][]float64{{1, 2, 3}}, Weights: []float64{1}},
+		"count mismatch":    {Version: 1, Samples: [][]float64{{1, 2}}, Weights: nil},
+		"bad item id":       {Version: 1, Preferences: []PreferencePair{{Winner: []int{10000}, Loser: []int{0}}}},
+		"negative id":       {Version: 1, Preferences: []PreferencePair{{Winner: []int{-1}, Loser: []int{0}}}},
+		"empty package":     {Version: 1, Preferences: []PreferencePair{{Winner: nil, Loser: []int{0}}}},
+		"self loop":         {Version: 1, Preferences: []PreferencePair{{Winner: []int{0}, Loser: []int{0}}}},
+		"v2 dim mismatch":   {Version: 2, Samples: [][]float64{{1, 2, 3}}, Weights: []float64{1}},
+		"v2 count mismatch": {Version: 2, Samples: [][]float64{{1, 2}}, Weights: nil},
+		"v2 empty package":  {Version: 2, Preferences: []PreferencePair{{Winner: nil, Loser: []int{0}}}},
+		"v2 self loop":      {Version: 2, Preferences: []PreferencePair{{Winner: []int{0}, Loser: []int{0}}}},
+		"v2 contradiction, no churn": {Version: 2, Preferences: []PreferencePair{
+			// A direct cycle with every item present cannot be blamed on
+			// remap shrinkage — it was written contradictory.
+			{Winner: []int{0}, Loser: []int{1}},
+			{Winner: []int{1}, Loser: []int{0}},
+		}},
 	} {
 		if err := eng.Restore(snap); err == nil {
 			t.Errorf("%s: hostile snapshot accepted", name)

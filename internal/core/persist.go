@@ -1,8 +1,19 @@
 // Session persistence: the engine's learned state — the preference DAG and
-// the weight-vector sample pool — serialized as portable JSON keyed by item
-// IDs. The paper's system accumulates a user's preferences across logins
-// (§1, §2.2); Snapshot/Restore provide that durability without persisting
-// the (caller-owned) item catalogue itself.
+// the weight-vector sample pool — serialized as portable JSON. The paper's
+// system accumulates a user's preferences across logins (§1, §2.2);
+// Snapshot/Restore provide that durability without persisting the
+// (caller-owned) item catalogue itself.
+//
+// Wire format v2 keys preferences by *stable* catalogue IDs and records
+// the epoch the snapshot was captured under, so learned state survives
+// live-catalogue churn between save and restore: Restore remaps every
+// preference through the restore-time epoch, silently dropping items that
+// vanished from the catalogue (counted in Stats.RestoreDroppedItems /
+// RestoreDroppedPrefs, not an error) and recomputing preference vectors
+// against the restore-time space. v1 snapshots (dense item IDs, no epoch)
+// remain readable: their IDs are interpreted as dense positions in the
+// restore-time space — the original epoch-0 semantics — and migrate to
+// stable identity on the next Snapshot.
 package core
 
 import (
@@ -11,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"toppkg/internal/catalog"
 	"toppkg/internal/maintain"
 	"toppkg/internal/pkgspace"
 	"toppkg/internal/prefgraph"
@@ -19,12 +31,30 @@ import (
 
 // Snapshot is the serializable learned state of an engine session.
 type Snapshot struct {
-	// Version guards the wire format.
+	// Version guards the wire format: 1 = dense item IDs (legacy), 2 =
+	// stable catalogue IDs + capture epoch.
 	Version int `json:"version"`
+	// Epoch is the catalogue epoch the learned state last referenced when
+	// the snapshot was taken (v2; 0 for v1 and static catalogues). Restore
+	// keeps the sample pool verbatim only when restoring under this same
+	// epoch; otherwise the pool is discarded and redrawn under the
+	// remapped constraint set, since its samples were maintained against
+	// another epoch's geometry.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// SpaceHash fingerprints the vector geometry of the space the state
+	// was captured against (v2; see feature.Space.Hash), and IDHash the
+	// stable→dense identity assignment (catalog.IDMapHash). Epoch
+	// counters are per-process, so the pool fast path additionally
+	// requires both to match at restore — a snapshot moved to another
+	// deployment whose catalogue merely shares the epoch number (or even
+	// the item values, with stable IDs permuted) must not install a pool
+	// maintained against different constraints.
+	SpaceHash uint64 `json:"space_hash,omitempty"`
+	IDHash    uint64 `json:"id_hash,omitempty"`
 	// Preferences lists the recorded pairwise preferences as item-ID sets
-	// (winner, loser). Vectors are recomputed from the item space on
-	// restore, so snapshots survive re-normalization-compatible reloads of
-	// the same catalogue.
+	// (winner, loser): stable catalogue IDs in v2, dense positions in v1.
+	// Vectors are recomputed from the restore-time item space, so
+	// snapshots survive re-normalization and catalogue churn.
 	Preferences []PreferencePair `json:"preferences"`
 	// Samples is the weight-vector pool; Weights are the importance
 	// weights (same length).
@@ -35,26 +65,45 @@ type Snapshot struct {
 }
 
 // PreferencePair is one recorded preference: winner item IDs, loser item
-// IDs.
+// IDs (stable catalogue IDs in v2, dense in v1).
 type PreferencePair struct {
 	Winner []int `json:"winner"`
 	Loser  []int `json:"loser"`
 }
 
-// snapshotVersion is the current wire format version.
-const snapshotVersion = 1
+// snapshotVersion is the wire format version Snapshot writes.
+const snapshotVersion = 2
 
-// Snapshot captures the engine's learned state. It does not force sampling:
-// an engine that never sampled yields a snapshot with an empty pool.
+// validVersion reports whether ReadSnapshot/Restore understand v.
+func validVersion(v int) bool { return v == 1 || v == snapshotVersion }
+
+// Snapshot captures the engine's learned state in wire format v2:
+// preferences under their stable catalogue identity plus the epoch the
+// state last referenced. It does not force sampling: an engine that never
+// sampled yields a snapshot with an empty pool.
+//
+// A v2 snapshot carrying both preferences and samples promises the
+// samples were maintained against exactly Epoch's geometry (Restore's
+// pool fast path relies on it). When the graph's vectors span epochs, or
+// lag behind the feedback epoch, no single epoch can reproduce the
+// constraint set the pool satisfied, so the pool is omitted and the
+// restored engine redraws it — preferences, not samples, are the learned
+// state worth carrying across epochs. A pool without any preferences is
+// epoch-free (drawn from the prior alone) and always serialized.
 func (e *Engine) Snapshot() *Snapshot {
-	s := &Snapshot{Version: snapshotVersion, Stats: e.stats}
+	fv := e.feedbackView()
+	s := &Snapshot{Version: snapshotVersion, Epoch: fv.id, SpaceHash: fv.space.Hash(), IDHash: fv.idh, Stats: e.stats}
 	for _, pr := range e.graph.Preferences() {
+		// Graph nodes are keyed by stable identity, so the pairs are
+		// already in stable IDs (identical to dense for a static space).
 		s.Preferences = append(s.Preferences, PreferencePair{
 			Winner: append([]int(nil), pr[0].IDs...),
 			Loser:  append([]int(nil), pr[1].IDs...),
 		})
 	}
-	if e.pool != nil {
+	uniform, uok := e.graph.UniformEpoch()
+	poolCoherent := e.graph.Len() == 0 || (uok && uniform == fv.id)
+	if e.pool != nil && poolCoherent {
 		for _, smp := range e.pool.Samples {
 			s.Samples = append(s.Samples, append([]float64(nil), smp.W...))
 			s.Weights = append(s.Weights, smp.Q)
@@ -63,16 +112,53 @@ func (e *Engine) Snapshot() *Snapshot {
 	return s
 }
 
-// Restore replaces the engine's learned state with the snapshot's: the
-// preference DAG is rebuilt (vectors recomputed against the current item
-// space) and the sample pool installed verbatim. The engine must have been
-// constructed with a compatible item set and profile.
+// remapStable translates one side of a v2 preference from stable catalogue
+// IDs into the restore-time epoch: dense holds the surviving members'
+// dense positions, kept their stable IDs, dropped how many members
+// vanished from the catalogue. A nil IDMap is the static identity mapping
+// over n items (out-of-range stable IDs count as vanished, not as errors —
+// a v2 snapshot moved across deployments shrinks gracefully).
+func remapStable(ids *catalog.IDMap, n int, stable []int) (dense, kept []int, dropped int) {
+	for _, s := range stable {
+		if ids == nil {
+			if s < 0 || s >= n {
+				dropped++
+				continue
+			}
+			dense = append(dense, s)
+			kept = append(kept, s)
+			continue
+		}
+		d, ok := ids.DenseID(s)
+		if !ok {
+			dropped++
+			continue
+		}
+		dense = append(dense, d)
+		kept = append(kept, s)
+	}
+	return dense, kept, dropped
+}
+
+// Restore replaces the engine's learned state with the snapshot's. The
+// preference DAG is rebuilt against the restore-time epoch: v2 preferences
+// are remapped from stable catalogue IDs (members that vanished from the
+// catalogue are dropped and counted in Stats.RestoreDroppedItems;
+// preferences that empty out, collapse to identical packages, or
+// contradict a surviving preference are dropped and counted in
+// Stats.RestoreDroppedPrefs), while v1 preferences are interpreted as
+// dense positions in the restore-time space (the legacy semantics — a
+// malformed v1 snapshot is still an error, as before). Preference vectors
+// are always recomputed from the restore-time space. The sample pool is
+// installed verbatim only when the snapshot was captured under the
+// restore-time epoch and nothing was dropped; otherwise it is discarded
+// and lazily redrawn under the rebuilt constraint set.
 func (e *Engine) Restore(s *Snapshot) error {
 	if s == nil {
 		return errors.New("core: nil snapshot")
 	}
-	if s.Version != snapshotVersion {
-		return fmt.Errorf("core: snapshot version %d, want %d", s.Version, snapshotVersion)
+	if !validVersion(s.Version) {
+		return fmt.Errorf("core: snapshot version %d, want 1 or %d", s.Version, snapshotVersion)
 	}
 	if len(s.Samples) != len(s.Weights) {
 		return fmt.Errorf("core: snapshot has %d samples but %d weights", len(s.Samples), len(s.Weights))
@@ -83,31 +169,109 @@ func (e *Engine) Restore(s *Snapshot) error {
 			return fmt.Errorf("core: snapshot sample %d has %d dims, space has %d", i, len(w), dims)
 		}
 	}
+	ep := e.sh.epoch()
+	fv := ep.view()
 	g := prefgraph.New()
+	droppedItems, droppedPrefs := 0, 0
 	for i, pr := range s.Preferences {
 		if len(pr.Winner) == 0 || len(pr.Loser) == 0 {
 			// No interaction can produce a preference over the empty
 			// package (Top-k-Pkg never returns ∅), so such a snapshot is
-			// corrupt or hand-crafted.
+			// corrupt or hand-crafted — in either version.
 			return fmt.Errorf("core: snapshot preference %d: empty package", i)
 		}
-		winner := pkgspace.New(pr.Winner...)
-		loser := pkgspace.New(pr.Loser...)
-		wv, err := e.PackageVector(winner)
-		if err != nil {
+		var winner, loser, sw, sl pkgspace.Package
+		if s.Version == 1 {
+			// Legacy dense IDs: positions in the restore-time space, the
+			// pre-stable-ID semantics. Out-of-range IDs stay hard errors —
+			// there is no way to tell churn from corruption in v1.
+			winner, loser = pkgspace.New(pr.Winner...), pkgspace.New(pr.Loser...)
+			for _, p := range []pkgspace.Package{winner, loser} {
+				if err := pkgspace.ValidateIDs(ep.space, p); err != nil {
+					return fmt.Errorf("core: snapshot preference %d: %w", i, err)
+				}
+			}
+			sw, sl = fv.stablePkg(winner), fv.stablePkg(loser)
+		} else {
+			if pkgspace.Equal(pkgspace.New(pr.Winner...), pkgspace.New(pr.Loser...)) {
+				// A self-preference in the file itself (as opposed to one
+				// produced by remap shrinkage below) is corruption.
+				return fmt.Errorf("core: snapshot preference %d: identical packages", i)
+			}
+			wd, wk, wDrop := remapStable(ep.ids, len(ep.space.Items), pr.Winner)
+			ld, lk, lDrop := remapStable(ep.ids, len(ep.space.Items), pr.Loser)
+			droppedItems += wDrop + lDrop
+			if len(wd) == 0 || len(ld) == 0 {
+				droppedPrefs++
+				continue
+			}
+			winner, loser = pkgspace.New(wd...), pkgspace.New(ld...)
+			sw, sl = pkgspace.New(wk...), pkgspace.New(lk...)
+			if sw.Signature() == sl.Signature() {
+				// Both sides shrank to the same surviving package; a
+				// preference over itself is meaningless, not corrupt.
+				droppedPrefs++
+				continue
+			}
+		}
+		wv := pkgspace.Vector(ep.space, winner)
+		lv := pkgspace.Vector(ep.space, loser)
+		edgesBefore := g.Edges()
+		// The graph is rebuilt wholesale under one epoch, so no node can
+		// be refreshed here — the flag is meaningful only for live
+		// feedback (see Engine.Feedback).
+		if _, err := g.AddPreferenceAt(ep.id, sw, wv, sl, lv); err != nil {
+			if s.Version != 1 && errors.Is(err, prefgraph.ErrCycle) && droppedItems > 0 {
+				// Dropping members can make two once-distinct preferences
+				// contradictory; keep the earlier one, count the loss.
+				// Without any observed shrinkage, though, a contradiction
+				// was in the file itself — corruption, like a self-loop —
+				// and must not be masked as churn.
+				droppedPrefs++
+				continue
+			}
 			return fmt.Errorf("core: snapshot preference %d: %w", i, err)
 		}
-		lv, err := e.PackageVector(loser)
-		if err != nil {
-			return fmt.Errorf("core: snapshot preference %d: %w", i, err)
-		}
-		if err := g.AddPreference(winner, wv, loser, lv); err != nil {
-			return fmt.Errorf("core: snapshot preference %d: %w", i, err)
+		if s.Version != 1 && g.Edges() == edgesBefore && droppedItems > 0 {
+			// Shrinkage merged two once-distinct preferences into one
+			// edge (AddPreferenceAt treats the second as a duplicate
+			// no-op). One recorded preference was lost to the remap, so
+			// the operator-facing counter must say so. Self-written
+			// snapshots never contain literal duplicates (Preferences()
+			// enumerates edges), so with no shrinkage anywhere the silent
+			// legacy merge only applies to hand-crafted files.
+			droppedPrefs++
 		}
 	}
 	e.graph = g
 	e.stats = s.Stats
-	if len(s.Samples) == 0 {
+	e.stats.RestoreDroppedItems += droppedItems
+	e.stats.RestoreDroppedPrefs += droppedPrefs
+	e.lastDropItems, e.lastDropPrefs = droppedItems, droppedPrefs
+	// Pin feedback identity to the restore-time epoch: a click arriving
+	// before the next Recommend must resolve against the same space the
+	// preference vectors were just rebuilt from.
+	e.fb = &fv
+	// The pool fast path: install the snapshot's samples verbatim only
+	// when the rebuilt constraints are provably the geometry the pool was
+	// maintained against — the snapshot-side coherence promise (see
+	// Snapshot) plus a restore under the same epoch of the same space
+	// with the same stable-ID assignment (epoch counters are per-process;
+	// the two hashes catch a snapshot moved to a deployment that merely
+	// shares the number, or the values with identities permuted) with
+	// nothing dropped. v1 predates the hashes and keeps its legacy
+	// epoch-only gate. A pool with no preferences has no constraints and
+	// is space-free.
+	sameSpace := s.Epoch == ep.id &&
+		(s.Version == 1 || (s.SpaceHash == ep.space.Hash() && s.IDHash == ep.idh))
+	keepPool := len(s.Samples) > 0 &&
+		droppedItems == 0 && droppedPrefs == 0 &&
+		(len(s.Preferences) == 0 || sameSpace)
+	if !keepPool {
+		// The pool was maintained against another epoch's geometry (or
+		// against constraints that no longer all survive); a stale pool
+		// would bias every recommendation until the next feedback, so it
+		// is redrawn lazily under the rebuilt constraint set instead.
 		e.pool = nil
 		return nil
 	}
@@ -132,16 +296,16 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	return json.NewEncoder(w).Encode(s)
 }
 
-// ReadSnapshot decodes a snapshot written by WriteSnapshot/Save. It checks
-// the wire version and internal consistency, but not compatibility with any
-// particular item space — Restore does that.
+// ReadSnapshot decodes a snapshot written by WriteSnapshot/Save — either
+// wire version. It checks the version and internal consistency, but not
+// compatibility with any particular item space — Restore does that.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, want %d", s.Version, snapshotVersion)
+	if !validVersion(s.Version) {
+		return nil, fmt.Errorf("core: snapshot version %d, want 1 or %d", s.Version, snapshotVersion)
 	}
 	if len(s.Samples) != len(s.Weights) {
 		return nil, fmt.Errorf("core: snapshot has %d samples but %d weights", len(s.Samples), len(s.Weights))

@@ -6,9 +6,11 @@ import (
 	"strings"
 	"testing"
 
+	"toppkg/internal/catalog"
 	"toppkg/internal/dataset"
 	"toppkg/internal/feature"
 	"toppkg/internal/pkgspace"
+	"toppkg/internal/search"
 )
 
 func persistEngine(t *testing.T) *Engine {
@@ -122,8 +124,14 @@ func TestRestoreValidation(t *testing.T) {
 	if err := e.Restore(&Snapshot{Version: 99}); err == nil {
 		t.Error("wrong version accepted")
 	}
+	if err := e.Restore(&Snapshot{Version: 3}); err == nil {
+		t.Error("future version accepted")
+	}
 	if err := e.Restore(&Snapshot{Version: 1, Samples: [][]float64{{1}}, Weights: nil}); err == nil {
 		t.Error("sample/weight length mismatch accepted")
+	}
+	if err := e.Restore(&Snapshot{Version: 2, Samples: [][]float64{{1}}, Weights: nil}); err == nil {
+		t.Error("v2 sample/weight length mismatch accepted")
 	}
 	if err := e.Restore(&Snapshot{Version: 1, Samples: [][]float64{{1, 2, 3}}, Weights: []float64{1}}); err == nil {
 		t.Error("dims mismatch accepted")
@@ -131,7 +139,124 @@ func TestRestoreValidation(t *testing.T) {
 	if err := e.Restore(&Snapshot{Version: 1, Preferences: []PreferencePair{
 		{Winner: []int{999}, Loser: []int{0}},
 	}}); err == nil {
-		t.Error("out-of-range item id accepted")
+		t.Error("v1 out-of-range item id accepted")
+	}
+}
+
+// TestV1MigrationRoundTrip is the acceptance criterion's migration test: a
+// v1 snapshot exactly as the previous wire format wrote it (dense item
+// IDs, no epoch) restores under the new code with the pool intact, and the
+// next Snapshot emits the same learned state re-keyed as v2.
+func TestV1MigrationRoundTrip(t *testing.T) {
+	e := persistEngine(t)
+	if err := e.Feedback(pkgspace.New(0, 1), pkgspace.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Feedback(pkgspace.New(2), pkgspace.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	slate1, err := e.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a static catalogue dense positions ARE the stable identity, so a
+	// v1 snapshot is the v2 pairs under Version 1 without the epoch — the
+	// byte-for-byte output of the previous codec.
+	cur := e.Snapshot()
+	v1 := &Snapshot{Version: 1, Preferences: cur.Preferences,
+		Samples: cur.Samples, Weights: cur.Weights, Stats: cur.Stats}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := persistEngine(t)
+	if err := e2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("v1 snapshot rejected by the new code: %v", err)
+	}
+	// v1 carries epoch 0 — the static epoch — so the pool survives.
+	s2, err := e2.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2) != len(cur.Samples) {
+		t.Fatalf("migrated pool size %d, want %d", len(s2), len(cur.Samples))
+	}
+	migrated := e2.Snapshot()
+	if migrated.Version != 2 {
+		t.Fatalf("re-snapshot version %d, want 2", migrated.Version)
+	}
+	if len(migrated.Preferences) != len(cur.Preferences) {
+		t.Fatalf("migration changed preference count: %d, want %d",
+			len(migrated.Preferences), len(cur.Preferences))
+	}
+	for i := range cur.Preferences {
+		w1 := pkgspace.New(cur.Preferences[i].Winner...)
+		w2 := pkgspace.New(migrated.Preferences[i].Winner...)
+		l1 := pkgspace.New(cur.Preferences[i].Loser...)
+		l2 := pkgspace.New(migrated.Preferences[i].Loser...)
+		if !pkgspace.Equal(w1, w2) || !pkgspace.Equal(l1, l2) {
+			t.Fatalf("migration changed preference %d: %s≻%s vs %s≻%s", i, w2, l2, w1, l1)
+		}
+	}
+	slate2, err := e2.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slate1.Recommended {
+		if slate1.Recommended[i].Pkg.Signature() != slate2.Recommended[i].Pkg.Signature() {
+			t.Errorf("migrated recommendation %d differs: %s vs %s",
+				i, slate1.Recommended[i].Pkg, slate2.Recommended[i].Pkg)
+		}
+	}
+}
+
+// TestRestoreV2DropsVanished: v2 restore treats unknown stable IDs as
+// churn, not corruption — members are dropped and counted, a side that
+// empties out (or both sides collapsing to the same package) drops the
+// preference, and the surviving state restores cleanly.
+func TestRestoreV2DropsVanished(t *testing.T) {
+	e := persistEngine(t) // 30 items: stable IDs 0..29
+	snap := &Snapshot{Version: 2, Preferences: []PreferencePair{
+		{Winner: []int{0, 1}, Loser: []int{2}},            // intact
+		{Winner: []int{3, 10000}, Loser: []int{4}},        // winner loses one member
+		{Winner: []int{10001}, Loser: []int{5}},           // winner empties: pref dropped
+		{Winner: []int{6, 10002}, Loser: []int{10003, 6}}, // collapse to {6}≻{6}: dropped
+	}}
+	if err := e.Restore(snap); err != nil {
+		t.Fatalf("v2 snapshot with vanished items rejected: %v", err)
+	}
+	items, prefs := e.RestoreDrops()
+	if items != 4 || prefs != 2 {
+		t.Errorf("RestoreDrops = (%d, %d), want (4, 2)", items, prefs)
+	}
+	if got := e.Graph().Edges(); got != 2 {
+		t.Errorf("restored %d edges, want 2", got)
+	}
+	// The engine is fully usable afterwards.
+	if _, err := e.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreV2DropsContradiction: remaps can collapse two once-distinct
+// preferences into a contradiction; the later one is dropped and counted
+// rather than failing the restore.
+func TestRestoreV2DropsContradiction(t *testing.T) {
+	e := persistEngine(t)
+	snap := &Snapshot{Version: 2, Preferences: []PreferencePair{
+		{Winner: []int{0}, Loser: []int{1}},
+		{Winner: []int{1}, Loser: []int{0, 10000}}, // remaps to {1}≻{0}: cycle
+	}}
+	if err := e.Restore(snap); err != nil {
+		t.Fatalf("restore failed on a remapped contradiction: %v", err)
+	}
+	items, prefs := e.RestoreDrops()
+	if items != 1 || prefs != 1 {
+		t.Errorf("RestoreDrops = (%d, %d), want (1, 1)", items, prefs)
+	}
+	if got := e.Graph().Edges(); got != 1 {
+		t.Errorf("restored %d edges, want 1", got)
 	}
 }
 
@@ -139,5 +264,146 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	e := persistEngine(t)
 	if err := e.Load(strings.NewReader("not json")); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// TestRestorePoolRequiresSameGeometry: epoch counters are per-process, so
+// a snapshot imported into a deployment that merely shares the epoch
+// number — but whose items carry different values — must not install the
+// pool: the samples were maintained against different package-vector
+// geometry. The preferences still restore; only the pool is redrawn.
+func TestRestorePoolRequiresSameGeometry(t *testing.T) {
+	e := persistEngine(t)
+	if err := e.Feedback(pkgspace.New(0, 1), pkgspace.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Recommend(); err != nil { // draw the pool
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if len(snap.Samples) == 0 || snap.SpaceHash == 0 {
+		t.Fatalf("precondition: %d samples, hash %d", len(snap.Samples), snap.SpaceHash)
+	}
+
+	// Same catalogue → pool installed verbatim.
+	same := persistEngine(t)
+	if err := same.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if same.pool == nil {
+		t.Fatal("identical-geometry restore dropped the pool")
+	}
+
+	// Same shape and stable IDs, different values (both at epoch 0).
+	rng := rand.New(rand.NewSource(999))
+	other, err := New(Config{
+		Items:          dataset.UNI(30, 2, rng),
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 2,
+		K:              2,
+		SampleCount:    80,
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Space().Hash() == e.Space().Hash() {
+		t.Fatal("precondition: distinct item values must hash differently")
+	}
+	if err := other.Restore(snap); err != nil {
+		t.Fatalf("cross-deployment restore failed: %v", err)
+	}
+	if other.Graph().Edges() != 1 {
+		t.Fatalf("preferences lost: %d edges", other.Graph().Edges())
+	}
+	if other.pool != nil {
+		t.Fatal("pool maintained against different geometry was installed verbatim")
+	}
+}
+
+// TestRestorePoolRequiresSameIdentity: two catalogues can hold the same
+// dense value sequence (equal Space.Hash) under shifted stable-ID
+// windows, so a shared stable ID names DIFFERENT items in each. The pool
+// gate must catch the permuted identity via the ID-assignment hash even
+// though no preference member is dropped.
+func TestRestorePoolRequiresSameIdentity(t *testing.T) {
+	prof := feature.SimpleProfile(feature.AggSum, feature.AggAvg)
+	vals := func(i int) []float64 { return []float64{0.1 * float64(i+1), 0.9 - 0.1*float64(i)} }
+	mkCat := func(firstID int) *catalog.Catalog {
+		items := make([]feature.Item, 8)
+		for i := range items {
+			items[i] = feature.Item{ID: firstID + i, Values: vals(i)}
+		}
+		cat, err := catalog.New(catalog.Config{Profile: prof, MaxPackageSize: 2, Items: items, Coalesce: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cat
+	}
+	mkEng := func(cat *catalog.Catalog) *Engine {
+		sh, err := NewLiveShared(Config{K: 2, SampleCount: 40, Seed: 9,
+			Search: search.Options{MaxQueue: 32, MaxAccessed: 100}}, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := sh.NewEngine(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	// A: stable IDs 1..8; B: stable IDs 2..9 — same dense values, so
+	// stable 2..8 exist in both but name shifted items.
+	a, b := mkEng(mkCat(1)), mkEng(mkCat(2))
+	if a.Space().Hash() != b.Space().Hash() {
+		t.Fatal("precondition: dense value sequences must hash equal")
+	}
+	// Preference over stable {3} ≻ {4}: dense 2,3 in A.
+	if err := a.Feedback(pkgspace.New(2), pkgspace.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+	if len(snap.Samples) == 0 {
+		t.Fatal("precondition: snapshot must carry the pool")
+	}
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restore into shifted catalogue failed: %v", err)
+	}
+	if items, prefs := b.LastRestoreDrops(); items != 0 || prefs != 0 {
+		t.Fatalf("unexpected drops (%d, %d): stable 3,4 exist in both catalogues", items, prefs)
+	}
+	if b.pool != nil {
+		t.Fatal("pool installed across a permuted stable-ID assignment")
+	}
+}
+
+// TestRestoreV2CountsMergedDuplicates: shrinkage can collapse two distinct
+// preferences onto the same edge; the silent duplicate no-op still cost
+// the user a recorded preference, and the counters must say so.
+func TestRestoreV2CountsMergedDuplicates(t *testing.T) {
+	for name, prefs := range map[string][]PreferencePair{
+		"shrinker first": {
+			{Winner: []int{0, 10000}, Loser: []int{1}},
+			{Winner: []int{0}, Loser: []int{1}},
+		},
+		"shrinker second": {
+			{Winner: []int{0}, Loser: []int{1}},
+			{Winner: []int{0, 10000}, Loser: []int{1}},
+		},
+	} {
+		e := persistEngine(t)
+		if err := e.Restore(&Snapshot{Version: 2, Preferences: prefs}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		items, dropped := e.RestoreDrops()
+		if items != 1 || dropped != 1 {
+			t.Errorf("%s: RestoreDrops = (%d, %d), want (1, 1): two preferences merged into one edge", name, items, dropped)
+		}
+		if got := e.Graph().Edges(); got != 1 {
+			t.Errorf("%s: %d edges, want 1", name, got)
+		}
 	}
 }

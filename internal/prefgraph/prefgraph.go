@@ -42,6 +42,15 @@ func (c Constraint) Violates(w []float64) bool {
 
 // Graph stores preferences over packages. Nodes are packages (keyed by
 // signature); an edge u→v records u ≻ v. The graph is kept acyclic.
+//
+// Under a live catalogue the engine keys nodes by *stable* catalogue IDs,
+// so the same inventory seen under two epochs is one node even when its
+// dense positions moved. Each node carries the catalogue epoch its vector
+// was last computed under: when feedback arrives for an already-known
+// package under a newer epoch, AddPreferenceAt refreshes the stored vector
+// from the new space instead of reusing the stale one, so the constraints
+// the samplers check always reflect the most recent geometry a package was
+// observed in.
 type Graph struct {
 	nodes []node
 	index map[string]int // signature → node id
@@ -51,8 +60,9 @@ type Graph struct {
 }
 
 type node struct {
-	pkg pkgspace.Package
-	vec []float64
+	pkg   pkgspace.Package
+	vec   []float64
+	epoch uint64 // catalogue epoch vec was computed under
 }
 
 // New returns an empty preference graph.
@@ -66,39 +76,94 @@ func (g *Graph) Len() int { return len(g.nodes) }
 // Edges returns the number of preference edges currently stored.
 func (g *Graph) Edges() int { return g.edges }
 
-func (g *Graph) nodeID(p pkgspace.Package, vec []float64) int {
+func (g *Graph) nodeID(epoch uint64, p pkgspace.Package, vec []float64) (id int, refreshed bool) {
 	sig := p.Signature()
 	if id, ok := g.index[sig]; ok {
-		return id
+		if n := &g.nodes[id]; epoch > n.epoch {
+			// The package resurfaced under a newer epoch: its aggregate
+			// vector was recomputed against that epoch's space, so the
+			// stale one goes. (The package itself cannot differ — equal
+			// signatures mean equal stable member IDs.) Every edge touching
+			// this node now derives its constraint from the new geometry.
+			n.vec = append([]float64(nil), vec...)
+			n.epoch = epoch
+			refreshed = true
+		}
+		return id, refreshed
 	}
-	id := len(g.nodes)
-	g.nodes = append(g.nodes, node{pkg: p, vec: append([]float64(nil), vec...)})
+	id = len(g.nodes)
+	g.nodes = append(g.nodes, node{pkg: p, vec: append([]float64(nil), vec...), epoch: epoch})
 	g.out = append(g.out, make(map[int]bool))
 	g.in = append(g.in, make(map[int]bool))
 	g.index[sig] = id
-	return id
+	return id, false
 }
 
 // AddPreference records winner ≻ loser, given the packages' normalized
 // aggregate vectors. It returns ErrCycle (and records nothing) if the
 // preference contradicts the transitive closure of existing preferences.
-// Duplicate preferences are no-ops.
+// Duplicate preferences are no-ops. Equivalent to AddPreferenceAt under
+// epoch 0 — the static-catalogue case, where refreshes cannot happen.
 func (g *Graph) AddPreference(winner pkgspace.Package, winnerVec []float64, loser pkgspace.Package, loserVec []float64) error {
+	_, err := g.AddPreferenceAt(0, winner, winnerVec, loser, loserVec)
+	return err
+}
+
+// AddPreferenceAt records winner ≻ loser observed under the given
+// catalogue epoch. Nodes already known from an older epoch have their
+// stored vector refreshed to the newer observation (a vector from a newer
+// epoch is never downgraded by late-arriving old feedback); refreshed
+// reports whether that happened, because a refresh rewrites the
+// constraints of EVERY edge touching the node — callers maintaining
+// derived state (like a sample pool checked against the constraint set)
+// must rebuild it rather than apply just the new edge. A refresh is
+// reported even when the edge itself is a duplicate or a cycle: the
+// vector update has already happened by then.
+func (g *Graph) AddPreferenceAt(epoch uint64, winner pkgspace.Package, winnerVec []float64, loser pkgspace.Package, loserVec []float64) (refreshed bool, err error) {
 	if winner.Signature() == loser.Signature() {
-		return fmt.Errorf("prefgraph: preference between identical packages %s", winner)
+		return false, fmt.Errorf("prefgraph: preference between identical packages %s", winner)
 	}
-	u := g.nodeID(winner, winnerVec)
-	v := g.nodeID(loser, loserVec)
+	u, ru := g.nodeID(epoch, winner, winnerVec)
+	v, rv := g.nodeID(epoch, loser, loserVec)
+	refreshed = ru || rv
 	if g.out[u][v] {
-		return nil
+		return refreshed, nil
 	}
 	if g.reachable(v, u, -1, -1) {
-		return fmt.Errorf("%w: %s ≻ %s contradicts recorded preferences", ErrCycle, winner, loser)
+		return refreshed, fmt.Errorf("%w: %s ≻ %s contradicts recorded preferences", ErrCycle, winner, loser)
 	}
 	g.out[u][v] = true
 	g.in[v][u] = true
 	g.edges++
-	return nil
+	return refreshed, nil
+}
+
+// UniformEpoch reports the single catalogue epoch every stored node vector
+// was computed under, ok=false when nodes span epochs. An empty graph is
+// vacuously uniform at epoch 0. Persistence uses this to decide whether a
+// sample pool maintained against the stored vectors can be reproduced from
+// one epoch's geometry alone.
+func (g *Graph) UniformEpoch() (epoch uint64, ok bool) {
+	for i := range g.nodes {
+		if i == 0 {
+			epoch = g.nodes[i].epoch
+		} else if g.nodes[i].epoch != epoch {
+			return 0, false
+		}
+	}
+	return epoch, true
+}
+
+// Node reports the stored state of a package's node: a copy of its current
+// aggregate vector and the epoch that vector was computed under. ok is
+// false when the package was never recorded.
+func (g *Graph) Node(p pkgspace.Package) (vec []float64, epoch uint64, ok bool) {
+	id, found := g.index[p.Signature()]
+	if !found {
+		return nil, 0, false
+	}
+	n := g.nodes[id]
+	return append([]float64(nil), n.vec...), n.epoch, true
 }
 
 // AddClick records the feedback generated by a click: the chosen package is

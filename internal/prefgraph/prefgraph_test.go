@@ -299,3 +299,56 @@ func TestConstraintConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEpochVectorRefresh: a package re-encountered under a newer catalogue
+// epoch refreshes its stored vector (and the constraints derived from
+// every edge touching it), while stale feedback from an older epoch never
+// downgrades a newer vector.
+func TestEpochVectorRefresh(t *testing.T) {
+	g := New()
+	a, b, c := pkgspace.New(10), pkgspace.New(20), pkgspace.New(30)
+	if refreshed, err := g.AddPreferenceAt(1, a, []float64{1, 0}, b, []float64{0, 1}); err != nil || refreshed {
+		t.Fatalf("first feedback: refreshed=%v err=%v", refreshed, err)
+	}
+	if vec, epoch, ok := g.Node(a); !ok || epoch != 1 || vec[0] != 1 {
+		t.Fatalf("node a = (%v, %d, %v) after epoch-1 feedback", vec, epoch, ok)
+	}
+
+	// Epoch 2 reprices a: feedback touching it refreshes the vector, and
+	// the OLD edge a≻b now derives its constraint from the new geometry.
+	if refreshed, err := g.AddPreferenceAt(2, a, []float64{0.5, 0.25}, c, []float64{0, 0}); err != nil || !refreshed {
+		t.Fatalf("epoch-2 feedback on a known package: refreshed=%v err=%v, want a reported refresh", refreshed, err)
+	}
+	if vec, epoch, _ := g.Node(a); epoch != 2 || vec[0] != 0.5 || vec[1] != 0.25 {
+		t.Fatalf("node a = (%v, %d): epoch-2 feedback did not refresh the vector", vec, epoch)
+	}
+	cs := g.Constraints(false)
+	found := false
+	for _, con := range cs {
+		if con.Winner.Signature() == a.Signature() && con.Loser.Signature() == b.Signature() {
+			found = true
+			if con.Diff[0] != 0.5 || con.Diff[1] != 0.25-1 {
+				t.Fatalf("edge a≻b constraint %v still uses the epoch-1 vector", con.Diff)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("edge a≻b missing")
+	}
+
+	// Late-arriving epoch-1 feedback must not roll the vector back.
+	if refreshed, err := g.AddPreferenceAt(1, a, []float64{9, 9}, b, []float64{0, 1}); err != nil || refreshed {
+		t.Fatalf("stale epoch-1 feedback: refreshed=%v err=%v, want no refresh", refreshed, err)
+	}
+	if vec, epoch, _ := g.Node(a); epoch != 2 || vec[0] != 0.5 {
+		t.Fatalf("node a = (%v, %d): stale epoch-1 feedback downgraded the vector", vec, epoch)
+	}
+
+	// Same-epoch duplicates keep the first observation (no spurious churn).
+	if refreshed, err := g.AddPreferenceAt(2, a, []float64{7, 7}, c, []float64{0, 0}); err != nil || refreshed {
+		t.Fatalf("same-epoch duplicate: refreshed=%v err=%v, want no refresh", refreshed, err)
+	}
+	if vec, _, _ := g.Node(a); vec[0] != 0.5 {
+		t.Fatalf("node a vector %v rewritten by same-epoch duplicate", vec)
+	}
+}

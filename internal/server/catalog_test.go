@@ -211,3 +211,101 @@ func TestRecommendAcrossAdminSwap(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotImportAcrossChurn drives the stable-ID snapshot path over
+// HTTP: export a session's learned state, delete one of its preference's
+// items through the admin API, and import the snapshot into another
+// session. The import succeeds with a restore report itemizing the loss
+// instead of rejecting the whole snapshot.
+func TestSnapshotImportAcrossChurn(t *testing.T) {
+	_, ts := liveServer(t)
+	r := postJSON(t, ts.URL+"/sessions/alice/feedback",
+		FeedbackRequest{Winner: []int{0, 1}, Loser: []int{2}}, nil)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("feedback = %d", r.StatusCode)
+	}
+	var snap core.Snapshot
+	if resp := getJSON(t, ts.URL+"/sessions/alice/snapshot", &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("export = %d", resp.StatusCode)
+	}
+	if snap.Version != 2 || len(snap.Preferences) != 1 {
+		t.Fatalf("export: version %d, %d preferences", snap.Version, len(snap.Preferences))
+	}
+
+	// Stable ID 1 — a member of the winner — leaves the catalogue.
+	if resp := doDelete(t, ts.URL+"/catalog/items/1?wait=1"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admin delete = %d", resp.StatusCode)
+	}
+
+	var report RestoreReport
+	r2 := postJSON(t, ts.URL+"/sessions/bob/snapshot", snap, &report)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("import across churn = %d, want 200", r2.StatusCode)
+	}
+	if report.DroppedItems != 1 || report.DroppedPrefs != 0 || report.Preferences != 1 {
+		t.Fatalf("restore report = %+v, want 1 dropped item, 0 dropped prefs, 1 surviving", report)
+	}
+	if report.Epoch < 2 {
+		t.Fatalf("restore report epoch = %d, want the post-churn epoch", report.Epoch)
+	}
+}
+
+// TestHealthzReportsRestoreDrops: preference loss on the evict/restore
+// path surfaces in /healthz under sessions.restore_dropped_*.
+func TestHealthzReportsRestoreDrops(t *testing.T) {
+	cat, err := catalog.New(catalog.Config{
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 3,
+		Items:          dataset.UNI(30, 2, rand.New(rand.NewSource(301))),
+		Coalesce:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := core.NewLiveShared(core.Config{
+		K: 3, RandomCount: 2, SampleCount: 60, Seed: 4,
+		Search: search.Options{MaxQueue: 32, MaxAccessed: 100},
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1 with synchronous eviction: the second session's miss
+	// deterministically snapshots the first.
+	mgr, err := session.NewManager(session.Config{
+		Shared: sh, Capacity: 1, Store: session.NewMemStore(), EvictWorkers: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(mgr, Options{Catalog: cat}))
+	t.Cleanup(ts.Close)
+
+	r := postJSON(t, ts.URL+"/sessions/alice/feedback",
+		FeedbackRequest{Winner: []int{0}, Loser: []int{1}}, nil)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("feedback = %d", r.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/sessions/bob/stats", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("evicting request = %d", resp.StatusCode)
+	}
+	if resp := doDelete(t, ts.URL+"/catalog/items/1?wait=1"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admin delete = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/sessions/alice/stats", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restoring request = %d", resp.StatusCode)
+	}
+
+	var hz struct {
+		Sessions session.Stats `json:"sessions"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if hz.Sessions.RestoreFailures != 0 {
+		t.Errorf("healthz restore_failures = %d; churn must not fail the restore", hz.Sessions.RestoreFailures)
+	}
+	if hz.Sessions.RestoreDroppedItems != 1 || hz.Sessions.RestoreDroppedPrefs != 1 {
+		t.Errorf("healthz restore drops = (%d, %d), want (1, 1)",
+			hz.Sessions.RestoreDroppedItems, hz.Sessions.RestoreDroppedPrefs)
+	}
+}

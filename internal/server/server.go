@@ -14,8 +14,14 @@
 //	POST   /sessions/{id}/click      ← {"chosen": [ids], "shown": [[ids], ...]}
 //	POST   /sessions/{id}/feedback   ← {"winner": [ids], "loser": [ids]}
 //	GET    /sessions/{id}/stats      → engine counters
-//	GET    /sessions/{id}/snapshot   → persisted session state (JSON)
+//	GET    /sessions/{id}/snapshot   → persisted session state (JSON, wire v2:
+//	                                   stable item IDs + capture epoch)
 //	POST   /sessions/{id}/snapshot   ← restores a previously saved session
+//	                                   (v1 or v2); responds with a restore
+//	                                   report {"epoch", "preferences",
+//	                                   "dropped_items", "dropped_preferences"}
+//	                                   — nonzero drops mean items vanished
+//	                                   from the catalogue since export
 //
 // Management endpoints:
 //
@@ -283,6 +289,17 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, snap)
 }
 
+// RestoreReport is the response to a snapshot import: how much of the
+// snapshot's learned state survived the remap onto the current catalogue
+// epoch. Nonzero drop counts mean the catalogue lost items between export
+// and import — the preferences over them are gone, by design, not error.
+type RestoreReport struct {
+	Epoch        uint64 `json:"epoch"`
+	Preferences  int    `json:"preferences"`
+	DroppedItems int    `json:"dropped_items"`
+	DroppedPrefs int    `json:"dropped_preferences"`
+}
+
 func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 	snapLimit := s.maxBody * SnapshotBodyFactor
 	if snapLimit < minSnapshotBodyBytes {
@@ -293,9 +310,17 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
+	var report RestoreReport
 	err := s.mgr.Do(sessionID(r), func(eng *core.Engine) error {
 		if err := eng.Restore(&snap); err != nil {
 			return badRequest{err}
+		}
+		items, prefs := eng.LastRestoreDrops()
+		report = RestoreReport{
+			Epoch:        eng.FeedbackEpoch(),
+			Preferences:  eng.Graph().Edges(),
+			DroppedItems: items,
+			DroppedPrefs: prefs,
 		}
 		return nil
 	})
@@ -303,7 +328,7 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	writeJSON(w, report)
 }
 
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {

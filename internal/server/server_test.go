@@ -327,11 +327,20 @@ func TestSnapshotRoundTripOverHTTP(t *testing.T) {
 		t.Fatalf("snapshot content: %d prefs, %d samples", len(snap.Preferences), len(snap.Samples))
 	}
 
-	// Restore into a different session of a fresh server.
+	if snap.Version != 2 {
+		t.Fatalf("exported snapshot version %d, want 2", snap.Version)
+	}
+
+	// Restore into a different session of a fresh server. Same catalogue,
+	// so the restore report must show zero dropped state.
 	_, ts2 := testServer(t)
-	r2 := postJSON(t, ts2.URL+"/sessions/imported/snapshot", snap, nil)
-	if r2.StatusCode != http.StatusNoContent {
+	var report RestoreReport
+	r2 := postJSON(t, ts2.URL+"/sessions/imported/snapshot", snap, &report)
+	if r2.StatusCode != http.StatusOK {
 		t.Fatalf("restore status %d", r2.StatusCode)
+	}
+	if report.DroppedItems != 0 || report.DroppedPrefs != 0 || report.Preferences != 1 {
+		t.Fatalf("restore report = %+v, want 1 preference and no drops", report)
 	}
 	var st core.Stats
 	getJSON(t, ts2.URL+"/sessions/imported/stats", &st)
@@ -498,7 +507,7 @@ func TestSnapshotRestoreExceedsClickCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	r2.Body.Close()
-	if r2.StatusCode != http.StatusNoContent {
+	if r2.StatusCode != http.StatusOK {
 		t.Fatalf("restore of own snapshot rejected: %d", r2.StatusCode)
 	}
 }

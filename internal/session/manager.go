@@ -86,6 +86,14 @@ type Stats struct {
 	// existed but could not be restored (corrupt, or incompatible with the
 	// current catalogue epoch); the failed snapshot is dropped.
 	RestoreFailures int64 `json:"restore_failures"`
+	// RestoreDroppedItems counts item occurrences dropped from restored
+	// preferences because the item had vanished from the live catalogue
+	// between evict-save and miss-restore; RestoreDroppedPrefs counts
+	// preferences dropped entirely during those remaps. Nonzero values are
+	// silent preference loss under catalogue churn — visible here (and in
+	// /healthz) rather than only inside individual sessions.
+	RestoreDroppedItems int64 `json:"restore_dropped_items"`
+	RestoreDroppedPrefs int64 `json:"restore_dropped_prefs"`
 	// EvictQueue is the number of evictions currently queued on or being
 	// written by the background writer (not monotone).
 	EvictQueue int `json:"evict_queue"`
@@ -112,6 +120,8 @@ type Manager struct {
 	misses       int64
 	saveErrs     int64
 	restoreFails int64
+	restoreDropI int64
+	restoreDropP int64
 
 	// Background eviction: victims queue on evictq; pending counts queued
 	// plus in-flight saves; evictDone signals pending reaching zero.
@@ -390,6 +400,14 @@ func (m *Manager) newEngine(id string) (eng *core.Engine, restored bool, err err
 		}
 		return nil, false, fmt.Errorf("session: restoring %q: %w", id, err)
 	}
+	// Fold what churn cost this remap into the process-wide counters
+	// operators watch.
+	if di, dp := eng.LastRestoreDrops(); di > 0 || dp > 0 {
+		m.mu.Lock()
+		m.restoreDropI += int64(di)
+		m.restoreDropP += int64(dp)
+		m.mu.Unlock()
+	}
 	return eng, true, nil
 }
 
@@ -501,16 +519,18 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Live:               len(m.table),
-		Capacity:           m.capacity,
-		Created:            m.created,
-		Restored:           m.restored,
-		Evicted:            m.evicted,
-		Hits:               m.hits,
-		Misses:             m.misses,
-		SaveErrors:         m.saveErrs,
-		RestoreFailures:    m.restoreFails,
-		EvictQueue:         m.pending,
-		EvictSyncFallbacks: m.syncFalls,
+		Live:                len(m.table),
+		Capacity:            m.capacity,
+		Created:             m.created,
+		Restored:            m.restored,
+		Evicted:             m.evicted,
+		Hits:                m.hits,
+		Misses:              m.misses,
+		SaveErrors:          m.saveErrs,
+		RestoreFailures:     m.restoreFails,
+		RestoreDroppedItems: m.restoreDropI,
+		RestoreDroppedPrefs: m.restoreDropP,
+		EvictQueue:          m.pending,
+		EvictSyncFallbacks:  m.syncFalls,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"toppkg/internal/catalog"
 	"toppkg/internal/core"
 	"toppkg/internal/dataset"
 	"toppkg/internal/feature"
@@ -544,5 +545,83 @@ func TestUnrestorableSnapshotStartsFresh(t *testing.T) {
 	}
 	if _, err := store.Load("alice"); !errors.Is(err, ErrNoSnapshot) {
 		t.Fatalf("unrestorable snapshot not dropped: %v", err)
+	}
+}
+
+// TestEvictRestoreAcrossCatalogChurn: a session evicted under epoch N and
+// restored under epoch M (items deleted in between) must come back with
+// its surviving preferences remapped through stable IDs — not fail the
+// restore, not silently shift preference labels. The loss is visible in
+// the manager's restore_dropped_* counters.
+func TestEvictRestoreAcrossCatalogChurn(t *testing.T) {
+	cat, err := catalog.New(catalog.Config{
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 3,
+		Items:          dataset.UNI(20, 2, rand.New(rand.NewSource(71))),
+		Coalesce:       -1, // synchronous swaps: deterministic
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := core.NewLiveShared(core.Config{
+		K:           2,
+		RandomCount: 1,
+		SampleCount: 40,
+		Seed:        5,
+		Search:      search.Options{MaxQueue: 32, MaxAccessed: 100},
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(Config{Shared: sh, Capacity: 1, Store: NewMemStore(), EvictWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	// alice learns two preferences under epoch 1 (UNI stable == dense).
+	err = m.Do("alice", func(eng *core.Engine) error {
+		if err := eng.Feedback(pkgspace.New(0, 1), pkgspace.New(2)); err != nil {
+			return err
+		}
+		return eng.Feedback(pkgspace.New(3), pkgspace.New(4, 5))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bob's miss evicts alice synchronously; her snapshot hits the store.
+	if err := m.Do("bob", func(*core.Engine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// The catalogue loses item 2 — a whole side of alice's first
+	// preference — and item 0, shifting every surviving dense ID.
+	if _, err := cat.Delete([]int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// alice's next request miss-restores under the shrunken epoch.
+	err = m.Do("alice", func(eng *core.Engine) error {
+		if got := eng.Graph().Edges(); got != 1 {
+			t.Errorf("restored %d edges, want 1 ({3}≻{4,5} survives churn)", got)
+		}
+		items, prefs := eng.RestoreDrops()
+		if items != 2 || prefs != 1 {
+			t.Errorf("engine RestoreDrops = (%d, %d), want (2, 1)", items, prefs)
+		}
+		if _, err := eng.Recommend(); err != nil {
+			t.Errorf("restored session cannot recommend: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("restore across catalogue churn failed: %v", err)
+	}
+	st := m.Stats()
+	if st.Restored != 1 || st.RestoreFailures != 0 {
+		t.Errorf("stats = restored %d, failures %d; churn must not brick the restore", st.Restored, st.RestoreFailures)
+	}
+	if st.RestoreDroppedItems != 2 || st.RestoreDroppedPrefs != 1 {
+		t.Errorf("manager drop counters = (%d, %d), want (2, 1)",
+			st.RestoreDroppedItems, st.RestoreDroppedPrefs)
 	}
 }
