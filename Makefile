@@ -32,14 +32,18 @@ lint:
 # runs fixed iterations too: its per-op cost is deliberately
 # non-stationary (epoch swaps land mid-loop), which defeats go test's
 # time-based iteration estimation. ChurnRestore pairs with it: the cost of
-# restoring a stable-ID snapshot after k mutation batches.
+# restoring a stable-ID snapshot after k mutation batches. EpochBuild is
+# the full-vs-delta epoch construction comparison (10k items, 16-item
+# batches).
 bench:
 	@{ $(GO) test -run '^$$' -bench 'Fig6TopKPkg' -benchmem -benchtime 500ms . ; \
 	   $(GO) test -run '^$$' -bench 'Fig8' -benchmem -benchtime 20x . ; \
 	   $(GO) test -run '^$$' -bench 'ChurnRecommend' -benchmem -benchtime 40x . ; \
-	   $(GO) test -run '^$$' -bench 'ChurnRestore' -benchmem -benchtime 40x . ; } \
+	   $(GO) test -run '^$$' -bench 'ChurnRestore' -benchmem -benchtime 40x . ; \
+	   $(GO) test -run '^$$' -bench 'EpochBuild' -benchmem -benchtime 50x . ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_recommend.json
 	@echo wrote BENCH_recommend.json
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEpoch$$' -fuzztime 10s ./internal/catalog

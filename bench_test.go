@@ -552,6 +552,66 @@ func BenchmarkChurnRecommend(b *testing.B) {
 	}
 }
 
+// --- Live catalogue: epoch construction, full rebuild vs delta build. ---
+
+// BenchmarkEpochBuild measures producing the next epoch on a large
+// catalogue when a small batch mutates. The full variant rebuilds
+// feature.Space + search.Index from scratch (DeltaThreshold < 0); the
+// delta variant splices the batch into the parent epoch's sorted lists
+// and normalizer state (O(batch·log n) plus O(n) copying). Synchronous
+// rebuild mode times exactly one build per batch; the full/delta pair is
+// the comparison benchjson records.
+const (
+	epochBuildItems = 10000
+	epochBuildBatch = 16
+)
+
+func BenchmarkEpochBuild(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		threshold int
+	}{
+		{"full", -1},
+		{"delta", epochBuildBatch},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(41))
+			items := dataset.UNI(epochBuildItems, 5, rng)
+			cat, err := catalog.New(catalog.Config{
+				Profile:        benchProfile(5),
+				MaxPackageSize: 5,
+				Items:          items,
+				Coalesce:       -1,
+				DeltaThreshold: tc.threshold,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]feature.Item, epochBuildBatch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := range batch {
+					id := (i*epochBuildBatch + j*101) % epochBuildItems
+					batch[j] = feature.Item{ID: id, Name: items[id].Name, Values: []float64{
+						rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(),
+					}}
+				}
+				b.StartTimer()
+				if err := cat.Upsert(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := cat.Stats()
+			if tc.threshold > 0 && st.DeltaBuilds == 0 {
+				b.Fatal("delta variant never took the delta path")
+			}
+			b.ReportMetric(float64(st.DeltaBuilds)/float64(b.N), "delta/op")
+		})
+	}
+}
+
 // --- Live catalogue: snapshot restore cost under churn. ---
 
 // BenchmarkChurnRestore measures Restore of a stable-ID (v2) snapshot

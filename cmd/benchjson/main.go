@@ -35,7 +35,8 @@ type Benchmark struct {
 // Comparison pairs a benchmark's baseline variant with its treated one:
 // nocache vs cached for the batching pipeline, static vs mutating for the
 // live-catalogue churn benchmark (where Speedup < 1 reads as the fraction
-// of throughput retained under churn).
+// of throughput retained under churn), and full vs delta for epoch
+// construction (Speedup is how much cheaper an incremental build is).
 type Comparison struct {
 	Name             string  `json:"name"`
 	BaselineNsPerOp  float64 `json:"baseline_ns_per_op"`
@@ -105,6 +106,7 @@ func parse(lines []string) (benches []Benchmark, cpu string) {
 var comparePairs = []struct{ base, after string }{
 	{"/nocache", "/cached"},
 	{"/static", "/mutating"},
+	{"/full", "/delta"},
 }
 
 // compare pairs baseline variants with their treated counterparts.

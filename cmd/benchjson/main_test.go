@@ -15,6 +15,8 @@ var sample = []string{
 	"BenchmarkFig8PostFeedbackRecommend/cached-4  \t      20\t 262562438 ns/op\t         0.2310 dedup\t       125.0 hits/op\t        36.45 searches/op",
 	"BenchmarkChurnRecommend/static-4   \t      20\t  50000000 ns/op\t         0 swaps/op",
 	"BenchmarkChurnRecommend/mutating-4 \t      20\t 100000000 ns/op\t         0.5000 swaps/op\t       190.0 mut/s",
+	"BenchmarkEpochBuild/full-4         \t      50\t  10000000 ns/op\t         1.000 delta/op",
+	"BenchmarkEpochBuild/delta-4        \t      50\t   1000000 ns/op\t         1.000 delta/op",
 	"PASS",
 	"ok  \ttoppkg\t51.485s",
 }
@@ -24,8 +26,8 @@ func TestParse(t *testing.T) {
 	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
 		t.Errorf("cpu = %q", cpu)
 	}
-	if len(benches) != 5 {
-		t.Fatalf("parsed %d benchmarks, want 5", len(benches))
+	if len(benches) != 7 {
+		t.Fatalf("parsed %d benchmarks, want 7", len(benches))
 	}
 	b := benches[0]
 	if b.Name != "Fig6TopKPkg/uni" || b.Iterations != 100 || b.NsPerOp != 12345678 {
@@ -42,8 +44,8 @@ func TestParse(t *testing.T) {
 func TestCompare(t *testing.T) {
 	benches, _ := parse(sample)
 	cs := compare(benches)
-	if len(cs) != 2 {
-		t.Fatalf("got %d comparisons, want 2", len(cs))
+	if len(cs) != 3 {
+		t.Fatalf("got %d comparisons, want 3", len(cs))
 	}
 	c := cs[0]
 	if c.Name != "Fig8PostFeedbackRecommend" {
@@ -61,6 +63,13 @@ func TestCompare(t *testing.T) {
 	}
 	if math.Abs(churn.Speedup-0.5) > 1e-9 {
 		t.Errorf("churn speedup = %g, want 0.5 (throughput retained)", churn.Speedup)
+	}
+	epoch := cs[2]
+	if epoch.Name != "EpochBuild" {
+		t.Errorf("epoch comparison name = %q", epoch.Name)
+	}
+	if math.Abs(epoch.Speedup-10) > 1e-9 {
+		t.Errorf("epoch build speedup = %g, want 10", epoch.Speedup)
 	}
 }
 

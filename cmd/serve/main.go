@@ -66,6 +66,7 @@ func main() {
 		evictW   = flag.Int("evict-workers", session.DefaultEvictWorkers, "background snapshot writers for eviction (negative = evict synchronously)")
 		mutable  = flag.Bool("mutable-catalog", false, "serve a live catalogue: enable POST/DELETE /catalog/items with epoch-swapped index rebuilds")
 		coalesce = flag.Duration("rebuild-coalesce", catalog.DefaultCoalesce, "how long the rebuilder waits for a mutation burst to settle before building the next epoch (negative: rebuild synchronously on every batch)")
+		deltaThr = flag.Int("delta-threshold", catalog.DefaultDeltaThreshold, "max distinct items changed since the current epoch for the next build to take the incremental delta path (negative disables delta builds)")
 		pprof    = flag.String("pprof", "", "mount net/http/pprof on this separate listen address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
@@ -132,6 +133,7 @@ func main() {
 			MaxPackageSize: *phi,
 			Items:          data,
 			Coalesce:       *coalesce,
+			DeltaThreshold: *deltaThr,
 		})
 		if err != nil {
 			log.Fatal(err)

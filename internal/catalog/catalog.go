@@ -24,9 +24,12 @@
 package catalog
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +44,12 @@ import (
 // the rebuilder waits this long for the burst to finish before building,
 // so a stream of rapid batches costs one rebuild, not one per batch.
 const DefaultCoalesce = 20 * time.Millisecond
+
+// DefaultDeltaThreshold is the delta-build eligibility bound applied when
+// Config.DeltaThreshold is zero: batches touching at most this many
+// distinct stable IDs since the current epoch build the next epoch
+// incrementally from it instead of from scratch.
+const DefaultDeltaThreshold = 256
 
 // Config configures a Catalog.
 type Config struct {
@@ -59,6 +68,13 @@ type Config struct {
 	// before Upsert/Delete returns (deterministic; meant for tests and
 	// offline tools).
 	Coalesce time.Duration
+	// DeltaThreshold bounds how many distinct stable IDs may have changed
+	// since the current epoch for the next build to take the incremental
+	// delta path (O(batch·log n), see buildEpochFrom); larger change sets
+	// take the full O(n log n) rebuild, which is also the always-correct
+	// fallback. 0 selects DefaultDeltaThreshold; negative disables delta
+	// builds entirely.
+	DeltaThreshold int
 }
 
 // Epoch is one immutable snapshot of the catalogue: everything a reader
@@ -148,6 +164,14 @@ type Stats struct {
 	// Rebuilds counts epoch builds (including the initial one); when
 	// smaller than Batches+1, coalescing folded bursts together.
 	Rebuilds int64 `json:"rebuilds"`
+	// DeltaBuilds counts epochs derived incrementally from their parent
+	// (O(batch·log n)); FullRebuilds counts from-scratch builds, including
+	// the initial one (Rebuilds = DeltaBuilds + FullRebuilds).
+	// DeltaFallbacks counts delta attempts that errored and fell back to a
+	// full rebuild (healthy operation keeps it at zero).
+	DeltaBuilds    int64 `json:"delta_builds"`
+	FullRebuilds   int64 `json:"full_rebuilds"`
+	DeltaFallbacks int64 `json:"delta_fallbacks,omitempty"`
 	// BuildErrors counts rebuilds that failed and kept the previous epoch
 	// (should stay zero: batches are validated before commit); LastError
 	// is the most recent such failure, empty when healthy.
@@ -164,6 +188,7 @@ type Catalog struct {
 	profile  *feature.Profile
 	maxSize  int
 	coalesce time.Duration
+	deltaMax int // delta-build eligibility bound; <= 0 disables
 
 	cur atomic.Pointer[Epoch]
 
@@ -175,13 +200,24 @@ type Catalog struct {
 	caughtUp *sync.Cond
 	subs     []func(*Epoch)
 
-	nextEpoch uint64
-	upserts   int64
-	deletes   int64
-	batches   int64
-	rebuilds  int64
-	buildErrs int64
-	lastErr   error
+	// pending maps each stable ID changed since the installed epoch to the
+	// version of its latest change — the delta builder's work list. Entries
+	// at or below the installed epoch's version (curVersion) are pruned on
+	// every install, so the invariant pending = {IDs changed in
+	// (curVersion, version]} holds even across failed or discarded builds.
+	pending    map[int]uint64
+	curVersion uint64 // version the installed epoch covers
+
+	nextEpoch  uint64
+	upserts    int64
+	deletes    int64
+	batches    int64
+	rebuilds   int64
+	deltas     int64
+	fulls      int64
+	deltaFalls int64
+	buildErrs  int64
+	lastErr    error
 }
 
 // New validates cfg, builds epoch 1 synchronously, and returns the
@@ -199,11 +235,16 @@ func New(cfg Config) (*Catalog, error) {
 	if cfg.Coalesce == 0 {
 		cfg.Coalesce = DefaultCoalesce
 	}
+	if cfg.DeltaThreshold == 0 {
+		cfg.DeltaThreshold = DefaultDeltaThreshold
+	}
 	c := &Catalog{
 		profile:  cfg.Profile,
 		maxSize:  cfg.MaxPackageSize,
 		coalesce: cfg.Coalesce,
+		deltaMax: cfg.DeltaThreshold,
 		items:    make(map[int]feature.Item, len(cfg.Items)),
+		pending:  make(map[int]uint64),
 	}
 	c.caughtUp = sync.NewCond(&c.mu)
 	for i := range cfg.Items {
@@ -222,6 +263,7 @@ func New(cfg Config) (*Catalog, error) {
 	}
 	c.nextEpoch = 1
 	c.rebuilds = 1
+	c.fulls = 1
 	c.cur.Store(ep)
 	return c, nil
 }
@@ -278,11 +320,13 @@ func (c *Catalog) Upsert(items []feature.Item) error {
 		}
 	}
 	c.mu.Lock()
+	changed := make([]int, len(items))
 	for i := range items {
 		c.items[items[i].ID] = copyItem(items[i])
+		changed[i] = items[i].ID
 	}
 	c.upserts += int64(len(items))
-	c.commitLocked() // unlocks c.mu
+	c.commitLocked(changed) // unlocks c.mu
 	return nil
 }
 
@@ -312,19 +356,25 @@ func (c *Catalog) Delete(ids []int) (removed int, err error) {
 		c.mu.Unlock()
 		return 0, nil
 	}
+	changed := make([]int, 0, removed)
 	for id := range distinct {
 		delete(c.items, id)
+		changed = append(changed, id)
 	}
 	c.deletes += int64(removed)
-	c.commitLocked() // unlocks c.mu
+	c.commitLocked(changed) // unlocks c.mu
 	return removed, nil
 }
 
-// commitLocked records a committed batch and arranges the rebuild. Called
-// with c.mu held; always releases it.
-func (c *Catalog) commitLocked() {
+// commitLocked records a committed batch — the stable IDs it changed join
+// the pending set the delta builder works from — and arranges the rebuild.
+// Called with c.mu held; always releases it.
+func (c *Catalog) commitLocked(changed []int) {
 	c.version++
 	c.batches++
+	for _, id := range changed {
+		c.pending[id] = c.version
+	}
 	if c.coalesce < 0 {
 		// Synchronous mode: build before returning to the caller.
 		c.rebuildLocked() // unlocks c.mu
@@ -354,7 +404,8 @@ func (c *Catalog) rebuildLoop() {
 	}
 }
 
-// rebuildLocked snapshots the item set, builds the next epoch outside the
+// rebuildLocked snapshots the item set (or, for delta-eligible change
+// sets, just the pending mutations), builds the next epoch outside the
 // lock, swaps it in, and notifies subscribers. Called with c.mu held;
 // returns with it released. Concurrent synchronous mutators may build in
 // parallel; epoch IDs are assigned at install time under the lock, and a
@@ -362,26 +413,79 @@ func (c *Catalog) rebuildLoop() {
 // discarded rather than swapped in out of order.
 func (c *Catalog) rebuildLocked() {
 	target := c.version
-	items, stable := c.denseItemsLocked()
+	parent := c.cur.Load()
+	var muts []deltaMut
+	if c.deltaMax > 0 && len(c.pending) > 0 && len(c.pending) <= c.deltaMax {
+		muts = c.deltaPlanLocked()
+	}
+	var items []feature.Item
+	var stable []int
+	if muts == nil {
+		items, stable = c.denseItemsLocked()
+	}
 	c.mu.Unlock()
 
-	ep, err := buildEpoch(items, stable, c.profile, c.maxSize)
+	var ep *Epoch
+	var err error
+	delta := false
+	fellBack := false
+	if muts != nil {
+		if ep, err = buildEpochFrom(parent, muts, c.maxSize); err == nil {
+			delta = true
+		} else {
+			// The delta path is never load-bearing for correctness: any
+			// failure falls back to the full rebuild. Re-snapshot (and
+			// re-target) because mutations may have landed meanwhile.
+			fellBack = true
+			c.mu.Lock()
+			target = c.version
+			items, stable = c.denseItemsLocked()
+			c.mu.Unlock()
+		}
+	}
+	if !delta {
+		ep, err = buildEpoch(items, stable, c.profile, c.maxSize)
+	}
 
 	c.mu.Lock()
 	c.rebuilds++
+	if delta {
+		c.deltas++
+	} else {
+		c.fulls++
+	}
+	if fellBack {
+		c.deltaFalls++
+	}
 	installed := false
 	if err != nil {
 		// Unreachable with validated batches; keep serving the old epoch.
 		// built still advances below so Flush and ?wait=1 cannot hang on a
 		// batch that will never build — the failure is surfaced through
 		// Stats.BuildErrors/LastError instead of a wedged rebuild loop.
+		// pending is deliberately not pruned: the installed epoch still
+		// covers only curVersion, so those IDs remain the delta work list.
 		c.buildErrs++
 		c.lastErr = err
 	} else if target > c.built {
-		c.nextEpoch++
-		ep.ID = c.nextEpoch
-		c.cur.Store(ep)
-		installed = true
+		if delta && ep.Space == parent.Space && c.cur.Load() == parent {
+			// The change set netted out to nothing versus the epoch that
+			// is still installed: keep it — and its ID — so epoch-keyed
+			// result caches and snapshot pools stay valid; only mark the
+			// target version covered. (If a racing synchronous build
+			// installed a different epoch since our snapshot, its content
+			// may not match our target version, so fall through and swap
+			// our shell in normally.)
+			c.curVersion = target
+			prunePending(c.pending, target)
+		} else {
+			c.nextEpoch++
+			ep.ID = c.nextEpoch
+			c.cur.Store(ep)
+			c.curVersion = target
+			prunePending(c.pending, target)
+			installed = true
+		}
 	}
 	if target > c.built {
 		c.built = target
@@ -396,6 +500,152 @@ func (c *Catalog) rebuildLocked() {
 			fn(ep)
 		}
 	}
+}
+
+// prunePending drops pending entries covered by the newly installed
+// version; later changes stay on the delta work list.
+func prunePending(pending map[int]uint64, upTo uint64) {
+	for id, ver := range pending {
+		if ver <= upTo {
+			delete(pending, id)
+		}
+	}
+}
+
+// deltaMut is one stable ID's pending change: the authoritative item as
+// of the snapshot (when it exists) or a deletion marker.
+type deltaMut struct {
+	stable int
+	item   feature.Item
+	exists bool
+}
+
+// deltaPlanLocked snapshots the pending change set for a delta build,
+// sorted by stable ID. Requires c.mu. Item value slices are shared with
+// the authoritative map, which never mutates them in place.
+func (c *Catalog) deltaPlanLocked() []deltaMut {
+	muts := make([]deltaMut, 0, len(c.pending))
+	for id := range c.pending {
+		it, ok := c.items[id]
+		muts = append(muts, deltaMut{stable: id, item: it, exists: ok})
+	}
+	slices.SortFunc(muts, func(a, b deltaMut) int { return cmp.Compare(a.stable, b.stable) })
+	return muts
+}
+
+// buildEpochFrom derives the next epoch from its parent by applying the
+// pending change set instead of rebuilding from scratch: the feature
+// space reuses per-dimension normalizer state the batch does not touch
+// (feature.NewSpaceFrom) and the search index splices the batch into the
+// parent's sorted lists (search.NewIndexFrom), so the build costs
+// O(batch·log n) plus O(n) copying rather than O(n log n) sorting. The
+// result is bit-identical to buildEpoch over the same authoritative set —
+// the delta property and fuzz suites assert it.
+func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, error) {
+	pm := parent.ids
+	pItems := parent.Space.Items
+	// Filter no-ops: IDs whose pending churn nets out to the item the
+	// parent epoch already carries (absent before and after, or an upsert
+	// rewriting identical values and name — a rename alone must rebuild,
+	// or served slates would keep resolving the stale name).
+	eff := make([]deltaMut, 0, len(muts))
+	adds, dels := 0, 0
+	sameIDs := true // every effective change replaces an existing item in place
+	for _, m := range muts {
+		pd, had := pm.DenseID(m.stable)
+		if !had && !m.exists {
+			continue
+		}
+		if had && m.exists && pItems[pd].Name == m.item.Name && valuesEqual(pItems[pd].Values, m.item.Values) {
+			continue
+		}
+		eff = append(eff, m)
+		if m.exists {
+			adds++
+		}
+		if had {
+			dels++
+		}
+		if !had || !m.exists {
+			sameIDs = false
+		}
+	}
+	if len(eff) == 0 {
+		// The change set netted out to nothing: the parent's immutable
+		// state is exactly the next epoch's. The install path recognizes
+		// the shared Space pointer and keeps the parent epoch installed —
+		// no swap, no cache invalidation — while still marking the target
+		// version covered.
+		return &Epoch{Space: parent.Space, Index: parent.Index, ids: pm}, nil
+	}
+	// Merge the parent's stable-ordered dense items with the mutation set,
+	// assigning new dense IDs and recording the translation the index
+	// splice needs: remap for carried items, added (plus its value rows and
+	// the removed ones) for everything else.
+	n := len(pItems) - dels + adds
+	items := make([]feature.Item, 0, n)
+	stable := make([]int, 0, n)
+	remap := make([]int32, len(pItems))
+	added := make([]int32, 0, adds)
+	removedRows := make([][]float64, 0, dels)
+	addedRows := make([][]float64, 0, adds)
+	place := func(it feature.Item, sid int) int32 {
+		nd := int32(len(items))
+		it.ID = int(nd)
+		items = append(items, it)
+		stable = append(stable, sid)
+		return nd
+	}
+	oldStable := pm.stable
+	i, j := 0, 0
+	for i < len(oldStable) || j < len(eff) {
+		switch {
+		case j >= len(eff) || (i < len(oldStable) && oldStable[i] < eff[j].stable):
+			remap[i] = place(pItems[i], oldStable[i]) // carried unchanged
+			i++
+		case i >= len(oldStable) || oldStable[i] > eff[j].stable:
+			// Brand-new stable ID (pure deletions of absent IDs were
+			// filtered above, so eff[j].exists holds here).
+			added = append(added, place(eff[j].item, eff[j].stable))
+			addedRows = append(addedRows, eff[j].item.Values)
+			j++
+		default: // same stable ID: replaced or deleted
+			remap[i] = -1
+			removedRows = append(removedRows, pItems[i].Values)
+			if eff[j].exists {
+				added = append(added, place(eff[j].item, eff[j].stable))
+				addedRows = append(addedRows, eff[j].item.Values)
+			}
+			i++
+			j++
+		}
+	}
+	space, err := feature.NewSpaceFrom(parent.Space, items, removedRows, addedRows)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: delta-building epoch over %d items: %w", len(items), err)
+	}
+	ids := pm // a reprice-only batch leaves the stable→dense assignment intact
+	if !sameIDs {
+		ids = &IDMap{stable: stable, dense: make(map[int]int, len(stable)), hash: IDMapHash(stable)}
+		for i, s := range stable {
+			ids.dense[s] = i
+		}
+	}
+	return &Epoch{Space: space, Index: search.NewIndexFrom(parent.Index, space, remap, added), ids: ids}, nil
+}
+
+// valuesEqual compares raw value rows bitwise, so nulls (NaN) compare
+// equal and an upsert rewriting identical values is recognized as a no-op.
+func valuesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // build constructs an epoch from the current authoritative set (used for
@@ -469,14 +719,17 @@ func (c *Catalog) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Epoch:       ep.ID,
-		Items:       len(ep.Items()),
-		Upserts:     c.upserts,
-		Deletes:     c.deletes,
-		Batches:     c.batches,
-		Rebuilds:    c.rebuilds,
-		BuildErrors: c.buildErrs,
-		Pending:     c.built < c.version,
+		Epoch:          ep.ID,
+		Items:          len(ep.Items()),
+		Upserts:        c.upserts,
+		Deletes:        c.deletes,
+		Batches:        c.batches,
+		Rebuilds:       c.rebuilds,
+		DeltaBuilds:    c.deltas,
+		FullRebuilds:   c.fulls,
+		DeltaFallbacks: c.deltaFalls,
+		BuildErrors:    c.buildErrs,
+		Pending:        c.built < c.version,
 	}
 	if c.lastErr != nil {
 		st.LastError = c.lastErr.Error()

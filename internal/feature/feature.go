@@ -9,11 +9,12 @@
 package feature
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -177,6 +178,16 @@ func (p *Profile) String() string {
 // item value.
 type Normalizer struct {
 	scales []float64
+	// Delta-maintenance state (see NewNormalizerFrom): per dimension, the
+	// count of non-null values of the dimension's feature and the
+	// descending "top" values the scale derives from — up to maxSize
+	// values for sum dimensions, the single max otherwise; nil while the
+	// dimension has no values or uses AggNull. Top slices may be shared
+	// between a parent normalizer and normalizers derived from it, so they
+	// are never mutated in place.
+	counts  []int
+	tops    [][]float64
+	maxSize int
 }
 
 // NewNormalizer computes the per-dimension scales for the given items,
@@ -185,53 +196,191 @@ func NewNormalizer(items []Item, p *Profile, maxSize int) (*Normalizer, error) {
 	if maxSize <= 0 {
 		return nil, fmt.Errorf("feature: maxSize must be positive, got %d", maxSize)
 	}
-	scales := make([]float64, p.Dims())
+	n := newEmptyNormalizer(p, maxSize)
 	for d, e := range p.entries {
 		if e.Agg == AggNull {
-			scales[d] = 1
 			continue
 		}
-		var vals []float64
-		for i := range items {
-			v := items[i].Values[e.Feature]
+		count, top, err := dimTop(items, e, maxSize)
+		if err != nil {
+			return nil, err
+		}
+		n.setDim(d, e.Agg, count, top)
+	}
+	return n, nil
+}
+
+func newEmptyNormalizer(p *Profile, maxSize int) *Normalizer {
+	n := &Normalizer{
+		scales:  make([]float64, p.Dims()),
+		counts:  make([]int, p.Dims()),
+		tops:    make([][]float64, p.Dims()),
+		maxSize: maxSize,
+	}
+	for d := range n.scales {
+		n.scales[d] = 1 // AggNull and empty dimensions scale by 1
+	}
+	return n
+}
+
+// setDim installs one dimension's maintained state and derives its scale.
+func (n *Normalizer) setDim(d int, agg Agg, count int, top []float64) {
+	n.counts[d] = count
+	n.tops[d] = top
+	n.scales[d] = scaleFrom(agg, count, top)
+}
+
+// dimTop scans items for entry e and returns the non-null value count and
+// the descending top values the dimension's scale derives from: the
+// maxSize largest for sum, the single max otherwise.
+func dimTop(items []Item, e Entry, maxSize int) (count int, top []float64, err error) {
+	var vals []float64
+	for i := range items {
+		v := items[i].Values[e.Feature]
+		if IsNull(v) {
+			continue
+		}
+		if v < 0 {
+			return 0, nil, fmt.Errorf("feature: item %d has negative value %g on feature %d", items[i].ID, v, e.Feature)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return 0, nil, nil
+	}
+	count = len(vals)
+	switch e.Agg {
+	case AggSum:
+		slices.SortFunc(vals, descFloat)
+		if len(vals) > maxSize {
+			vals = vals[:maxSize]
+		}
+		top = vals
+	default: // min, max, avg: the best achievable is the single best item.
+		best := 0.0
+		for _, v := range vals {
+			if v > best {
+				best = v
+			}
+		}
+		top = []float64{best}
+	}
+	return count, top, nil
+}
+
+// descFloat orders float64s descending (lists never contain nulls).
+func descFloat(a, b float64) int { return cmp.Compare(b, a) }
+
+// scaleFrom derives the normalization divisor from the maintained state,
+// reproducing NewNormalizer's coercions exactly: dimensions with no
+// values, or whose best achievable aggregate is 0, scale by 1. Summing
+// the descending top values gives the same float result as NewNormalizer
+// because it adds the same value sequence in the same order.
+func scaleFrom(agg Agg, count int, top []float64) float64 {
+	if count == 0 {
+		return 1
+	}
+	s := 0.0
+	switch agg {
+	case AggSum:
+		for _, v := range top {
+			s += v
+		}
+	default:
+		s = top[0]
+	}
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// NewNormalizerFrom derives the normalizer for an item set obtained from
+// the parent's by removing and then adding raw value rows (a changed item
+// contributes one row to each). A dimension's scale is recomputed from
+// scratch — a full rescan of items — only when a removed value reaches the
+// state the scale derives from: ≥ the top-maxSize cutoff for sum
+// dimensions, equal to the max otherwise (with a not-yet-full top set,
+// every value participates, so any removal rescans). Additions never force
+// a rescan: the top set absorbs them in O(maxSize). Scales are
+// bit-identical to NewNormalizer over items — untouched dimensions keep
+// the parent's scale verbatim, incremental updates preserve the top value
+// sequence a fresh sort would produce, and rescanned dimensions re-run the
+// same computation.
+func NewNormalizerFrom(parent *Normalizer, items []Item, p *Profile, maxSize int, removed, added [][]float64) (*Normalizer, error) {
+	if maxSize != parent.maxSize {
+		return nil, fmt.Errorf("feature: NewNormalizerFrom maxSize %d, parent has %d", maxSize, parent.maxSize)
+	}
+	n := newEmptyNormalizer(p, maxSize)
+	var remVals, addVals []float64 // per-dimension scratch
+	for d, e := range p.entries {
+		if e.Agg == AggNull {
+			continue
+		}
+		remVals, addVals = remVals[:0], addVals[:0]
+		for _, row := range removed {
+			if v := row[e.Feature]; !IsNull(v) {
+				remVals = append(remVals, v)
+			}
+		}
+		for _, row := range added {
+			v := row[e.Feature]
 			if IsNull(v) {
 				continue
 			}
 			if v < 0 {
-				return nil, fmt.Errorf("feature: item %d has negative value %g on feature %d", items[i].ID, v, e.Feature)
+				return nil, fmt.Errorf("feature: negative value %g on feature %d", v, e.Feature)
 			}
-			vals = append(vals, v)
+			addVals = append(addVals, v)
 		}
-		if len(vals) == 0 {
-			scales[d] = 1
+		count, top := parent.counts[d], parent.tops[d]
+		if len(remVals) == 0 && len(addVals) == 0 {
+			n.setDim(d, e.Agg, count, top) // untouched: share the parent's state
 			continue
 		}
-		switch e.Agg {
-		case AggSum:
-			sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
-			top := maxSize
-			if top > len(vals) {
-				top = len(vals)
+		// cutoff is the smallest value still contributing to the scale;
+		// -Inf when the top set is not full (then every value contributes).
+		cutoff := math.Inf(-1)
+		if e.Agg == AggSum {
+			if len(top) >= maxSize {
+				cutoff = top[len(top)-1]
 			}
-			s := 0.0
-			for _, v := range vals[:top] {
-				s += v
+		} else if count > 0 {
+			cutoff = top[0]
+		}
+		dirty := false
+		for _, v := range remVals {
+			if v >= cutoff {
+				dirty = true
+				break
 			}
-			scales[d] = s
-		default: // min, max, avg: the best achievable is the single best item.
-			best := 0.0
-			for _, v := range vals {
-				if v > best {
-					best = v
+			count--
+		}
+		if dirty {
+			count, top, _ = dimTop(items, e, maxSize) // rows already validated
+		} else if len(addVals) > 0 {
+			top = slices.Clone(top)
+			for _, v := range addVals {
+				count++
+				if e.Agg == AggSum {
+					if len(top) >= maxSize && v <= top[len(top)-1] {
+						continue // below the cutoff: the top set is unchanged
+					}
+					i, _ := slices.BinarySearchFunc(top, v, descFloat)
+					top = slices.Insert(top, i, v)
+					if len(top) > maxSize {
+						top = top[:maxSize]
+					}
+				} else if len(top) == 0 {
+					top = []float64{v}
+				} else if v > top[0] {
+					top[0] = v // already cloned above
 				}
 			}
-			scales[d] = best
 		}
-		if scales[d] == 0 {
-			scales[d] = 1
-		}
+		n.setDim(d, e.Agg, count, top)
 	}
-	return &Normalizer{scales: scales}, nil
+	return n, nil
 }
 
 // Scale returns the normalization divisor for dimension d.
@@ -260,8 +409,10 @@ type Space struct {
 	Norm    *Normalizer
 	// hasNull[f] records whether any item lacks feature f; used by the
 	// upper-bound estimator to decide whether a "no contribution" pad is
-	// attainable.
-	hasNull []bool
+	// attainable. nullCount[f] is the count behind it, maintained so a
+	// derived space (NewSpaceFrom) can update the flags without rescanning.
+	hasNull   []bool
+	nullCount []int
 	// hash is the geometry fingerprint (see Hash).
 	hash uint64
 }
@@ -282,17 +433,78 @@ func NewSpace(items []Item, p *Profile, maxSize int) (*Space, error) {
 	if err != nil {
 		return nil, err
 	}
-	hasNull := make([]bool, p.FeatureCount())
+	nullCount := make([]int, p.FeatureCount())
 	for i := range items {
 		for f, v := range items[i].Values {
 			if IsNull(v) {
-				hasNull[f] = true
+				nullCount[f]++
 			}
 		}
 	}
-	sp := &Space{Items: items, Profile: p, MaxSize: maxSize, Norm: norm, hasNull: hasNull}
+	return newSpace(items, p, maxSize, norm, nullCount), nil
+}
+
+// newSpace assembles a space from precomputed parts, deriving the
+// null-presence flags and geometry fingerprint.
+func newSpace(items []Item, p *Profile, maxSize int, norm *Normalizer, nullCount []int) *Space {
+	hasNull := make([]bool, p.FeatureCount())
+	for f, c := range nullCount {
+		hasNull[f] = c > 0
+	}
+	sp := &Space{Items: items, Profile: p, MaxSize: maxSize, Norm: norm, hasNull: hasNull, nullCount: nullCount}
 	sp.hash = sp.fingerprint()
-	return sp, nil
+	return sp
+}
+
+// NewSpaceFrom derives the space for a new dense item slice from a parent
+// space whose item set differs by the given raw value rows: removed lists
+// the rows that left the parent's set, added the rows that entered (a
+// changed item contributes one row to each). The result is bit-identical
+// to NewSpace(items, parent.Profile, parent.MaxSize) — per-dimension
+// normalizer scales are recomputed only where the delta touches the
+// values they derive from (NewNormalizerFrom), null-presence flags are
+// maintained from per-feature null counts, and the geometry fingerprint
+// is rehashed over the new items — but skips the parent-untouched
+// per-dimension sorts, so its cost scales with the delta plus one O(n)
+// pass, not O(n log n).
+func NewSpaceFrom(parent *Space, items []Item, removed, added [][]float64) (*Space, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("feature: empty item set")
+	}
+	p := parent.Profile
+	for i := range items {
+		if len(items[i].Values) != p.FeatureCount() {
+			return nil, fmt.Errorf("feature: item %d has %d values, profile expects %d",
+				items[i].ID, len(items[i].Values), p.FeatureCount())
+		}
+	}
+	for _, rows := range [2][][]float64{removed, added} {
+		for _, row := range rows {
+			if len(row) != p.FeatureCount() {
+				return nil, fmt.Errorf("feature: delta row has %d values, profile expects %d", len(row), p.FeatureCount())
+			}
+		}
+	}
+	norm, err := NewNormalizerFrom(parent.Norm, items, p, parent.MaxSize, removed, added)
+	if err != nil {
+		return nil, err
+	}
+	nullCount := append([]int(nil), parent.nullCount...)
+	for _, row := range removed {
+		for f, v := range row {
+			if IsNull(v) {
+				nullCount[f]--
+			}
+		}
+	}
+	for _, row := range added {
+		for f, v := range row {
+			if IsNull(v) {
+				nullCount[f]++
+			}
+		}
+	}
+	return newSpace(items, p, parent.MaxSize, norm, nullCount), nil
 }
 
 // fingerprint digests everything package-vector geometry depends on: the

@@ -1,0 +1,254 @@
+package search
+
+import (
+	"slices"
+
+	"toppkg/internal/feature"
+)
+
+// NewIndexFrom derives the index over sp from a parent epoch's index in
+// O(batch·log n) comparisons plus O(n) copying for the dimensions the
+// batch touches, instead of NewIndex's O(n log n) sort per dimension.
+//
+// remap maps parent dense IDs to sp dense IDs: remap[i] < 0 means parent
+// item i is not carried over (deleted, or re-entering with new values via
+// added). added lists the sp dense IDs of items not carried from the
+// parent — brand new, or existing items whose values changed. The caller
+// guarantees two invariants the catalogue's stable-ID dense ordering
+// provides: remap is order-preserving over carried items (i < j with both
+// carried implies remap[i] < remap[j]), and carried items have identical
+// values in both spaces. Under them, remapping a parent dimension list
+// preserves its (value, dense ID) order, so the new list is a splice, not
+// a sort.
+//
+// Dimensions the batch does not touch share the parent's arrays
+// copy-on-write when the remap is the identity (no carried item shifted);
+// when dense IDs shift, every list is rewritten in one renumbering pass —
+// O(n) copying, still no sorting.
+func NewIndexFrom(parent *Index, sp *feature.Space, remap []int32, added []int32) *Index {
+	dims := sp.Dims()
+	ix := &Index{space: sp, asc: make([][]int32, dims)}
+	psp := parent.space
+
+	// identity: every carried parent item keeps its dense ID, so untouched
+	// dimension arrays remain valid as-is and can be shared.
+	identity := true
+	for i, v := range remap {
+		if v >= 0 && v != int32(i) {
+			identity = false
+			break
+		}
+	}
+	// Which raw features gain or lose non-null values.
+	fc := sp.Profile.FeatureCount()
+	removedTouch := make([]bool, fc)
+	for i, v := range remap {
+		if v >= 0 {
+			continue
+		}
+		for f, val := range psp.Items[i].Values {
+			if !feature.IsNull(val) {
+				removedTouch[f] = true
+			}
+		}
+	}
+	addedTouch := make([]bool, fc)
+	for _, id := range added {
+		for f, val := range sp.Items[id].Values {
+			if !feature.IsNull(val) {
+				addedTouch[f] = true
+			}
+		}
+	}
+
+	var batch []int32 // per-dimension scratch
+	for d := 0; d < dims; d++ {
+		e := sp.Profile.Entry(d)
+		if e.Agg == feature.AggNull {
+			continue
+		}
+		f := e.Feature
+		if identity && !removedTouch[f] && !addedTouch[f] {
+			ix.asc[d] = parent.asc[d] // untouched: share copy-on-write
+			continue
+		}
+		batch = batch[:0]
+		for _, id := range added {
+			if !feature.IsNull(sp.Items[id].Values[f]) {
+				batch = append(batch, id)
+			}
+		}
+		slices.SortFunc(batch, cmpByValue(sp.Items, f))
+		if identity {
+			ix.asc[d] = spliceList(parent.asc[d], sp, psp, f, remap, batch)
+		} else {
+			ix.asc[d] = renumberList(parent.asc[d], sp, psp, f, remap, batch)
+		}
+	}
+
+	ix.orphans = deriveOrphans(parent, sp, remap, added, identity)
+	return ix
+}
+
+// spliceList derives a dimension list under an identity remap: removed
+// entries and batch insertion points are located by binary search on the
+// (value, dense ID) order, then the output is assembled from segment
+// copies of the parent list — O((removals+batch)·log n) comparisons plus
+// one O(n) copy.
+func spliceList(old []int32, sp, psp *feature.Space, f int, remap, batch []int32) []int32 {
+	// Splice ops in list order: drop old[pos] (removals) or insert id
+	// before old[pos] (batch). Values of removed entries resolve against
+	// the parent space (they may no longer exist in sp); carried entries
+	// have identical values in both, so the two orders agree.
+	type splice struct {
+		pos    int
+		id     int32
+		insert bool
+	}
+	oldCmp := cmpByValue(psp.Items, f)
+	var ops []splice
+	removals := 0
+	for pi, v := range remap {
+		if v >= 0 || feature.IsNull(psp.Items[pi].Values[f]) {
+			continue
+		}
+		pos, ok := slices.BinarySearchFunc(old, int32(pi), oldCmp)
+		if !ok { // unreachable: every non-null parent item is listed
+			return renumberList(old, sp, psp, f, remap, batch)
+		}
+		ops = append(ops, splice{pos: pos, id: int32(pi)})
+		removals++
+	}
+	for _, id := range batch {
+		// Insertion point in the parent list: first entry ≥ (value, id).
+		// Carried entries compare identically under both spaces, and a
+		// removed entry landing at the same point sorts consistently
+		// either way, so comparing new values against parent entries via
+		// the parent ordering is sound.
+		pos, _ := slices.BinarySearchFunc(old, id, func(entry, target int32) int {
+			ve, vt := psp.Items[entry].Values[f], sp.Items[target].Values[f]
+			if ve != vt {
+				if ve < vt {
+					return -1
+				}
+				return 1
+			}
+			if ve == vt && entry != target {
+				if entry < target {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		ops = append(ops, splice{pos: pos, id: id, insert: true})
+	}
+	slices.SortStableFunc(ops, func(a, b splice) int {
+		if a.pos != b.pos {
+			return a.pos - b.pos
+		}
+		// At the same position an insertion's key is ≤ the removed
+		// entry's, so insertions apply first; batch order is preserved by
+		// stability.
+		switch {
+		case a.insert == b.insert:
+			return 0
+		case a.insert:
+			return -1
+		default:
+			return 1
+		}
+	})
+	out := make([]int32, 0, len(old)-removals+len(batch))
+	oi := 0
+	for _, op := range ops {
+		out = append(out, old[oi:op.pos]...)
+		oi = op.pos
+		if op.insert {
+			out = append(out, op.id)
+		} else {
+			oi++ // skip the removed entry
+		}
+	}
+	out = append(out, old[oi:]...)
+	return out
+}
+
+// renumberList rewrites a dimension list under a non-identity remap in one
+// pass: removed entries are dropped, carried ones renumbered (order is
+// preserved — the remap is monotone over carried items), and the sorted
+// batch merged in by (value, dense ID).
+func renumberList(old []int32, sp, psp *feature.Space, f int, remap, batch []int32) []int32 {
+	out := make([]int32, 0, len(old)+len(batch))
+	j := 0
+	for _, pid := range old {
+		nid := remap[pid]
+		if nid < 0 {
+			continue
+		}
+		v := sp.Items[nid].Values[f]
+		for j < len(batch) {
+			bv := sp.Items[batch[j]].Values[f]
+			if bv < v || (bv == v && batch[j] < nid) {
+				out = append(out, batch[j])
+				j++
+				continue
+			}
+			break
+		}
+		out = append(out, nid)
+	}
+	out = append(out, batch[j:]...)
+	return out
+}
+
+// deriveOrphans maintains the list of items null on every profile feature:
+// removed parent orphans are dropped, carried ones renumbered, and added
+// orphans merged in dense-ID order. Shares the parent's slice when the
+// delta leaves it untouched under an identity remap.
+func deriveOrphans(parent *Index, sp *feature.Space, remap, added []int32, identity bool) []int32 {
+	isOrphan := func(space *feature.Space, id int32) bool {
+		for d := 0; d < space.Dims(); d++ {
+			e := space.Profile.Entry(d)
+			if e.Agg == feature.AggNull {
+				continue
+			}
+			if !feature.IsNull(space.Items[id].Values[e.Feature]) {
+				return false
+			}
+		}
+		return true
+	}
+	var addedOrphans []int32
+	for _, id := range added {
+		if isOrphan(sp, id) {
+			addedOrphans = append(addedOrphans, id)
+		}
+	}
+	slices.Sort(addedOrphans)
+	removedOrphan := false
+	for _, pid := range parent.orphans {
+		if remap[pid] < 0 {
+			removedOrphan = true
+			break
+		}
+	}
+	if identity && !removedOrphan && len(addedOrphans) == 0 {
+		return parent.orphans
+	}
+	out := make([]int32, 0, len(parent.orphans)+len(addedOrphans))
+	j := 0
+	for _, pid := range parent.orphans {
+		nid := remap[pid]
+		if nid < 0 {
+			continue
+		}
+		for j < len(addedOrphans) && addedOrphans[j] < nid {
+			out = append(out, addedOrphans[j])
+			j++
+		}
+		out = append(out, nid)
+	}
+	out = append(out, addedOrphans[j:]...)
+	return out
+}

@@ -8,10 +8,11 @@
 package search
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"toppkg/internal/feature"
@@ -123,15 +124,7 @@ func NewIndex(sp *feature.Space) *Index {
 				inSome[i] = true
 			}
 		}
-		f := e.Feature
-		sort.Slice(ids, func(a, b int) bool {
-			va := sp.Items[ids[a]].Values[f]
-			vb := sp.Items[ids[b]].Values[f]
-			if va != vb {
-				return va < vb
-			}
-			return ids[a] < ids[b]
-		})
+		slices.SortFunc(ids, cmpByValue(sp.Items, e.Feature))
 		ix.asc[d] = ids
 	}
 	for i := range sp.Items {
@@ -140,6 +133,22 @@ func NewIndex(sp *feature.Space) *Index {
 		}
 	}
 	return ix
+}
+
+// cmpByValue is the total order every dimension list uses: ascending by
+// the items' value on feature f, ties broken by dense ID. Lists exclude
+// null values, so the comparison never sees NaN.
+func cmpByValue(items []feature.Item, f int) func(a, b int32) int {
+	return func(a, b int32) int {
+		va, vb := items[a].Values[f], items[b].Values[f]
+		if va != vb {
+			if va < vb {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a, b)
+	}
 }
 
 // Space returns the space the index was built over.
@@ -164,7 +173,7 @@ const boundRefresh = 16
 
 func (p *pkg) toPackage() pkgspace.Package {
 	ids := append([]int(nil), p.ids...)
-	sort.Ints(ids)
+	slices.Sort(ids)
 	return pkgspace.Package{IDs: ids}
 }
 
@@ -197,6 +206,54 @@ type run struct {
 	scratch     *feature.State
 	scratchGrow *feature.State
 	contribs    []feature.Contrib
+
+	// Recycling pools scoped to this run: packages dropped from Q+ donate
+	// their aggregate states and id buffers to newly materialized children,
+	// and the per-expand newcomers slice is reused across calls. Pooling
+	// per TopK invocation (not globally) keeps states bound to one space
+	// and needs no synchronization.
+	freeStates []*feature.State
+	freePkgs   []*pkg
+	newcomers  []*pkg
+}
+
+// takeState returns a state holding a copy of src, reusing a recycled one
+// when available.
+func (r *run) takeState(src *feature.State) *feature.State {
+	n := len(r.freeStates)
+	if n == 0 {
+		return src.Clone()
+	}
+	st := r.freeStates[n-1]
+	r.freeStates = r.freeStates[:n-1]
+	st.CopyFrom(src)
+	return st
+}
+
+// newChild materializes p ∪ {item} with the given precomputed utility,
+// reusing a recycled pkg shell and state when available.
+func (r *run) newChild(p *pkg, item int, it feature.Item, util float64) *pkg {
+	var np *pkg
+	if n := len(r.freePkgs); n > 0 {
+		np = r.freePkgs[n-1]
+		r.freePkgs = r.freePkgs[:n-1]
+	} else {
+		np = &pkg{}
+	}
+	np.state = r.takeState(p.state)
+	np.state.Add(it)
+	np.ids = append(append(np.ids[:0], p.ids...), item)
+	np.util = util
+	np.bound, np.boundRound = 0, 0
+	return np
+}
+
+// release recycles a package leaving Q+. Candidates keep their own sorted
+// id copies (toPackage), so nothing aliases the recycled buffers.
+func (r *run) release(p *pkg) {
+	r.freeStates = append(r.freeStates, p.state)
+	p.state = nil
+	r.freePkgs = append(r.freePkgs, p)
 }
 
 type listCursor struct {
@@ -370,7 +427,7 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 
 	r.round++
 	survivors := r.qPlus[:0]
-	newcomers := []*pkg(nil)
+	newcomers := r.newcomers[:0]
 	for _, p := range r.qPlus {
 		// Refresh the extension bound lazily; a stale bound is still an
 		// upper bound, so pruning on it stays sound.
@@ -381,6 +438,7 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 		if prune && p.bound <= etaLo {
 			// Neither p's extensions nor their candidacies can beat the
 			// current k-th best: drop p without expanding it.
+			r.release(p)
 			continue
 		}
 		if p.state.Size < phi {
@@ -401,9 +459,7 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 					worth = r.upperExp(r.scratchGrow) > etaLo
 				}
 				if worth {
-					grown := p.state.Clone()
-					grown.Add(it)
-					np := &pkg{ids: append(append([]int(nil), p.ids...), item), state: grown, util: gu}
+					np := r.newChild(p, item, it, gu)
 					if r.opts.Expand == nil || r.opts.Expand(r.ix.space, np.toPackage()) {
 						r.created++
 						r.offer(np)
@@ -420,7 +476,11 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 								etaUp = np.bound
 							}
 							newcomers = append(newcomers, np)
+						} else {
+							r.release(np)
 						}
+					} else {
+						r.release(np)
 					}
 				}
 			}
@@ -432,14 +492,21 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 				etaUp = p.bound
 			}
 			survivors = append(survivors, p)
+		} else {
+			// p moves to Q−: it was already offered as a candidate when
+			// created, so it leaves the expandable queue (and donates its
+			// buffers to future children).
+			r.release(p)
 		}
-		// Otherwise p moves to Q−: it was already offered as a candidate
-		// when created, so it is simply dropped from the expandable queue.
 	}
 	r.qPlus = append(survivors, newcomers...)
+	r.newcomers = newcomers[:0]
 
 	if r.maxQueue > 0 && len(r.qPlus) > r.maxQueue {
-		sort.Slice(r.qPlus, func(i, j int) bool { return r.qPlus[i].bound > r.qPlus[j].bound })
+		slices.SortFunc(r.qPlus, func(a, b *pkg) int { return cmp.Compare(b.bound, a.bound) })
+		for _, p := range r.qPlus[r.maxQueue:] {
+			r.release(p)
+		}
 		r.qPlus = r.qPlus[:r.maxQueue]
 		r.truncated = true
 	}

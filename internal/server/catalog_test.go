@@ -92,6 +92,34 @@ func TestCatalogGetAndHealthzEpoch(t *testing.T) {
 	}
 }
 
+// TestHealthzReportsDeltaBuilds: a small admin batch takes the
+// incremental build path and the delta/full counters surface in /healthz.
+func TestHealthzReportsDeltaBuilds(t *testing.T) {
+	_, ts := liveServer(t)
+	v := func(x float64) *float64 { return &x }
+	resp := postJSON(t, ts.URL+"/catalog/items?wait=1", UpsertRequest{Items: []ItemJSON{
+		{ID: 200, Name: "hot", Values: []*float64{v(0.9), v(0.4)}},
+	}}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /catalog/items = %d", resp.StatusCode)
+	}
+	var hz struct {
+		Catalog struct {
+			Rebuilds       int64 `json:"rebuilds"`
+			DeltaBuilds    int64 `json:"delta_builds"`
+			FullRebuilds   int64 `json:"full_rebuilds"`
+			DeltaFallbacks int64 `json:"delta_fallbacks"`
+		} `json:"catalog"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	c := hz.Catalog
+	if c.DeltaBuilds != 1 || c.FullRebuilds != 1 || c.Rebuilds != 2 || c.DeltaFallbacks != 0 {
+		t.Fatalf("healthz delta counters = %+v", c)
+	}
+}
+
 func TestCatalogUpsertAndDelete(t *testing.T) {
 	cat, ts := liveServer(t)
 	v := func(x float64) *float64 { return &x }

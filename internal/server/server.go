@@ -345,13 +345,25 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	epoch, items := s.mgr.Shared().EpochInfo()
+	cat := map[string]any{
+		"epoch":   epoch,
+		"items":   items,
+		"mutable": s.cat != nil,
+	}
+	if s.cat != nil {
+		// Rebuild health for a live catalogue: how epochs are being built
+		// (incremental delta vs full) and whether any fell back or failed.
+		st := s.cat.Stats()
+		cat["rebuilds"] = st.Rebuilds
+		cat["delta_builds"] = st.DeltaBuilds
+		cat["full_rebuilds"] = st.FullRebuilds
+		cat["delta_fallbacks"] = st.DeltaFallbacks
+		cat["build_errors"] = st.BuildErrors
+		cat["pending"] = st.Pending
+	}
 	writeJSON(w, map[string]any{
-		"status": "ok",
-		"catalog": map[string]any{
-			"epoch":   epoch,
-			"items":   items,
-			"mutable": s.cat != nil,
-		},
+		"status":       "ok",
+		"catalog":      cat,
 		"sessions":     s.mgr.Stats(), // includes evict_queue depth
 		"search_cache": s.mgr.SearchCacheStats(),
 	})
@@ -395,15 +407,18 @@ func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {
 	st := s.cat.Stats()
 	writeJSON(w, map[string]any{
 		"epoch":        st.Epoch,
-		"items":        st.Items,
-		"mutable":      true,
-		"upserts":      st.Upserts,
-		"deletes":      st.Deletes,
-		"batches":      st.Batches,
-		"rebuilds":     st.Rebuilds,
-		"build_errors": st.BuildErrors,
-		"last_error":   st.LastError,
-		"pending":      st.Pending,
+		"items":           st.Items,
+		"mutable":         true,
+		"upserts":         st.Upserts,
+		"deletes":         st.Deletes,
+		"batches":         st.Batches,
+		"rebuilds":        st.Rebuilds,
+		"delta_builds":    st.DeltaBuilds,
+		"full_rebuilds":   st.FullRebuilds,
+		"delta_fallbacks": st.DeltaFallbacks,
+		"build_errors":    st.BuildErrors,
+		"last_error":      st.LastError,
+		"pending":         st.Pending,
 	})
 }
 
