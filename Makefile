@@ -31,14 +31,16 @@ lint:
 # criterion measures (cache warm across feedback rounds). ChurnRecommend
 # runs fixed iterations too: its per-op cost is deliberately
 # non-stationary (epoch swaps land mid-loop), which defeats go test's
-# time-based iteration estimation. ChurnRestore pairs with it: the cost of
+# time-based iteration estimation; the mutating variant warms up untimed
+# until churn equilibrium, and 120 iterations average across enough swaps
+# for a stable retained/op. ChurnRestore pairs with it: the cost of
 # restoring a stable-ID snapshot after k mutation batches. EpochBuild is
 # the full-vs-delta epoch construction comparison (10k items, 16-item
 # batches).
 bench:
 	@{ $(GO) test -run '^$$' -bench 'Fig6TopKPkg' -benchmem -benchtime 500ms . ; \
 	   $(GO) test -run '^$$' -bench 'Fig8' -benchmem -benchtime 20x . ; \
-	   $(GO) test -run '^$$' -bench 'ChurnRecommend' -benchmem -benchtime 40x . ; \
+	   $(GO) test -run '^$$' -bench 'ChurnRecommend' -benchmem -benchtime 120x . ; \
 	   $(GO) test -run '^$$' -bench 'ChurnRestore' -benchmem -benchtime 40x . ; \
 	   $(GO) test -run '^$$' -bench 'EpochBuild' -benchmem -benchtime 50x . ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_recommend.json
@@ -47,3 +49,4 @@ bench:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEpoch$$' -fuzztime 10s ./internal/catalog
+	$(GO) test -run '^TestCacheRetentionBitIdentical$$|^TestCacheRevivalAfterRacingPut$$' -count=1 ./internal/core

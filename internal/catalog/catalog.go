@@ -198,7 +198,7 @@ type Catalog struct {
 	built    uint64 // version the current epoch covers
 	building bool   // a rebuild goroutine is scheduled or running
 	caughtUp *sync.Cond
-	subs     []func(*Epoch)
+	subs     []func(*Epoch, *ChangeSet)
 
 	// pending maps each stable ID changed since the installed epoch to the
 	// version of its latest change — the delta builder's work list. Entries
@@ -279,11 +279,47 @@ func (c *Catalog) Profile() *feature.Profile { return c.profile }
 // MaxPackageSize returns φ.
 func (c *Catalog) MaxPackageSize() int { return c.maxSize }
 
+// ChangeSet describes what an installed epoch changed relative to the
+// parent it was delta-built from, precisely enough for subscribers to
+// reconcile epoch-keyed derived state (result caches) instead of dropping
+// it wholesale. A full rebuild carries no per-item attribution: Full is set
+// and every other field must be ignored.
+type ChangeSet struct {
+	// Parent is the ID of the epoch the set is relative to. Derived state
+	// keyed to any other epoch must be dropped regardless of the fields
+	// below.
+	Parent uint64
+	// Full marks a full (or fallen-back) rebuild: treat everything as
+	// changed.
+	Full bool
+	// Dirty holds the parent-dense ids of items replaced or deleted by the
+	// batch, ascending.
+	Dirty []int32
+	// Fresh holds the new-dense ids of items inserted or re-priced by the
+	// batch (the new identity of every replaced item), ascending.
+	Fresh []int32
+	// Touched lists the profile dimensions whose normalizer scale bits or
+	// null-set membership differ between the parent and the new space:
+	// utilities weighting them are not comparable across the swap.
+	Touched []int
+	// Remap translates parent-dense ids to new-dense ids (-1 for items not
+	// carried over); nil when the assignment is unchanged. Subscribers
+	// carrying dense-keyed state across the swap must renumber through it,
+	// or the next swap's Dirty/Fresh ids would be compared against a stale
+	// id space. Order-preserving over carried items.
+	Remap []int32
+	// OldSpace is the parent epoch's feature space, for old-value lookups
+	// against Dirty ids.
+	OldSpace *feature.Space
+}
+
 // Subscribe registers fn to run after every epoch swap, with the epoch
-// just installed. Callbacks run on the rebuilder goroutine (or the
-// mutating goroutine in synchronous mode) and must be safe for concurrent
-// use with readers; keep them short.
-func (c *Catalog) Subscribe(fn func(*Epoch)) {
+// just installed and the change set relative to its parent (nil when the
+// swap came from a full rebuild of an unversioned ancestry — treat like
+// Full). Callbacks run on the rebuilder goroutine (or the mutating
+// goroutine in synchronous mode) and must be safe for concurrent use with
+// readers; keep them short.
+func (c *Catalog) Subscribe(fn func(*Epoch, *ChangeSet)) {
 	c.mu.Lock()
 	c.subs = append(c.subs, fn)
 	c.mu.Unlock()
@@ -426,11 +462,12 @@ func (c *Catalog) rebuildLocked() {
 	c.mu.Unlock()
 
 	var ep *Epoch
+	var cs *ChangeSet
 	var err error
 	delta := false
 	fellBack := false
 	if muts != nil {
-		if ep, err = buildEpochFrom(parent, muts, c.maxSize); err == nil {
+		if ep, cs, err = buildEpochFrom(parent, muts, c.maxSize); err == nil {
 			delta = true
 		} else {
 			// The delta path is never load-bearing for correctness: any
@@ -445,6 +482,7 @@ func (c *Catalog) rebuildLocked() {
 	}
 	if !delta {
 		ep, err = buildEpoch(items, stable, c.profile, c.maxSize)
+		cs = &ChangeSet{Parent: parent.ID, Full: true}
 	}
 
 	c.mu.Lock()
@@ -490,14 +528,14 @@ func (c *Catalog) rebuildLocked() {
 	if target > c.built {
 		c.built = target
 	}
-	subs := append([]func(*Epoch){}, c.subs...)
+	subs := append([]func(*Epoch, *ChangeSet){}, c.subs...)
 	if c.built == c.version {
 		c.caughtUp.Broadcast()
 	}
 	c.mu.Unlock()
 	if installed {
 		for _, fn := range subs {
-			fn(ep)
+			fn(ep, cs)
 		}
 	}
 }
@@ -541,7 +579,7 @@ func (c *Catalog) deltaPlanLocked() []deltaMut {
 // O(batch·log n) plus O(n) copying rather than O(n log n) sorting. The
 // result is bit-identical to buildEpoch over the same authoritative set —
 // the delta property and fuzz suites assert it.
-func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, error) {
+func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, *ChangeSet, error) {
 	pm := parent.ids
 	pItems := parent.Space.Items
 	// Filter no-ops: IDs whose pending churn nets out to the item the
@@ -575,8 +613,11 @@ func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, error)
 		// state is exactly the next epoch's. The install path recognizes
 		// the shared Space pointer and keeps the parent epoch installed —
 		// no swap, no cache invalidation — while still marking the target
-		// version covered.
-		return &Epoch{Space: parent.Space, Index: parent.Index, ids: pm}, nil
+		// version covered. The empty ChangeSet matters only if a racing
+		// build forces this shell to install under a fresh ID: content is
+		// still bit-identical to the parent, so subscribers may re-key.
+		return &Epoch{Space: parent.Space, Index: parent.Index, ids: pm},
+			&ChangeSet{Parent: parent.ID, OldSpace: parent.Space}, nil
 	}
 	// Merge the parent's stable-ordered dense items with the mutation set,
 	// assigning new dense IDs and recording the translation the index
@@ -597,6 +638,7 @@ func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, error)
 		return nd
 	}
 	oldStable := pm.stable
+	dirty := make([]int32, 0, dels)
 	i, j := 0, 0
 	for i < len(oldStable) || j < len(eff) {
 		switch {
@@ -611,6 +653,7 @@ func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, error)
 			j++
 		default: // same stable ID: replaced or deleted
 			remap[i] = -1
+			dirty = append(dirty, int32(i))
 			removedRows = append(removedRows, pItems[i].Values)
 			if eff[j].exists {
 				added = append(added, place(eff[j].item, eff[j].stable))
@@ -622,7 +665,7 @@ func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, error)
 	}
 	space, err := feature.NewSpaceFrom(parent.Space, items, removedRows, addedRows)
 	if err != nil {
-		return nil, fmt.Errorf("catalog: delta-building epoch over %d items: %w", len(items), err)
+		return nil, nil, fmt.Errorf("catalog: delta-building epoch over %d items: %w", len(items), err)
 	}
 	ids := pm // a reprice-only batch leaves the stable→dense assignment intact
 	if !sameIDs {
@@ -631,7 +674,28 @@ func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, error)
 			ids.dense[s] = i
 		}
 	}
-	return &Epoch{Space: space, Index: search.NewIndexFrom(parent.Index, space, remap, added), ids: ids}, nil
+	// Dimensions whose normalizer scale bits or null-set membership moved:
+	// cached utilities weighting them are stale even for untouched items.
+	var touchedDims []int
+	for d := 0; d < space.Dims(); d++ {
+		e := space.Profile.Entry(d)
+		if e.Agg == feature.AggNull {
+			continue
+		}
+		if math.Float64bits(space.Norm.Scale(d)) != math.Float64bits(parent.Space.Norm.Scale(d)) ||
+			space.HasNull(e.Feature) != parent.Space.HasNull(e.Feature) {
+			touchedDims = append(touchedDims, d)
+		}
+	}
+	cs := &ChangeSet{
+		Parent:   parent.ID,
+		Dirty:    dirty,
+		Fresh:    added,
+		Touched:  touchedDims,
+		Remap:    remap,
+		OldSpace: parent.Space,
+	}
+	return &Epoch{Space: space, Index: search.NewIndexFrom(parent.Index, space, remap, added), ids: ids}, cs, nil
 }
 
 // valuesEqual compares raw value rows bitwise, so nulls (NaN) compare

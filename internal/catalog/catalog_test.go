@@ -220,7 +220,7 @@ func TestSubscribeSeesEverySwap(t *testing.T) {
 	c := syncCatalog(t, 4)
 	var swaps atomic.Int64
 	var lastID atomic.Uint64
-	c.Subscribe(func(ep *Epoch) {
+	c.Subscribe(func(ep *Epoch, _ *ChangeSet) {
 		swaps.Add(1)
 		lastID.Store(ep.ID)
 	})

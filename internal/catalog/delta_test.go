@@ -249,7 +249,7 @@ func TestDeltaNoOpBatchKeepsEpoch(t *testing.T) {
 		t.Fatal(err)
 	}
 	var swaps int
-	c.Subscribe(func(*Epoch) { swaps++ })
+	c.Subscribe(func(*Epoch, *ChangeSet) { swaps++ })
 	ep1 := c.Current()
 	same := feature.Item{ID: 2, Name: "n", Values: append([]float64(nil), items[2].Values...)}
 	if err := c.Upsert([]feature.Item{same}); err != nil {

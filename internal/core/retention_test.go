@@ -1,0 +1,336 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"toppkg/internal/catalog"
+	"toppkg/internal/feature"
+	"toppkg/internal/ranking"
+	"toppkg/internal/search"
+)
+
+// These tests prove the epoch-survivable cache's core invariant: a cache
+// entry reachable under an epoch's key always serves the exact result a
+// fresh Top-k-Pkg search on that epoch would produce — bit-identical
+// packages and utility bits. Reconcile may only retain (or revive) an
+// entry when the footprint replay proves the swap could not have changed
+// it; everything here churns the catalogue and audits that proof.
+
+// retentionSearchOpts is the per-sample search configuration liveConfig's
+// engines key cache entries under (K=2, Sigma=2 ⇒ per-sample K=2).
+func retentionSearchOpts() search.Options {
+	so := liveConfig().Search
+	so.K = 2
+	return so
+}
+
+// searchCacheKey reconstructs the batched pipeline's cache key for a
+// weight vector under the given catalogue epoch: cache invalidation epoch
+// + catalogue epoch + options key + weight bits (see ranking.groupResults).
+func searchCacheKey(t *testing.T, c *ranking.Cache, catEpoch uint64, so search.Options, w []float64) string {
+	t.Helper()
+	optsKey, ok := so.CacheKey()
+	if !ok {
+		t.Fatal("search options are not cache-keyable")
+	}
+	var ep [16]byte
+	binary.LittleEndian.PutUint64(ep[:8], c.Epoch())
+	binary.LittleEndian.PutUint64(ep[8:], catEpoch)
+	return string(ep[:]) + optsKey + "|" + ranking.WeightKey(w)
+}
+
+// verifyReachable re-searches every cache entry reachable under epoch ep
+// (stale-keyed entries are unreachable by construction and skipped) and
+// fails the test unless the cached packages are bit-identical to the
+// fresh result. Returns the number of entries audited. Safe to run while
+// other goroutines mutate the cache: the entry snapshot is taken under
+// the cache lock and compared against the immutable ep.
+func verifyReachable(t *testing.T, c *ranking.Cache, ep *catalog.Epoch, so search.Options) int {
+	t.Helper()
+	var cacheEp [8]byte
+	binary.LittleEndian.PutUint64(cacheEp[:], c.Epoch())
+	type kv struct {
+		key string
+		res search.Result
+	}
+	var entries []kv
+	c.Range(func(key string, res search.Result) bool {
+		entries = append(entries, kv{key, res})
+		return true
+	})
+	checked := 0
+	for _, e := range entries {
+		if len(e.key) < 16 || e.key[:8] != string(cacheEp[:]) {
+			continue // pre-Invalidate entry: unreachable
+		}
+		if binary.LittleEndian.Uint64([]byte(e.key[8:16])) != ep.ID {
+			continue // keyed to another epoch: unreachable under ep
+		}
+		rest := e.key[16:]
+		wkey := rest[strings.Index(rest, "|")+1:]
+		w := make([]float64, len(wkey)/8)
+		for i := range w {
+			w[i] = math.Float64frombits(binary.LittleEndian.Uint64([]byte(wkey[8*i : 8*i+8])))
+		}
+		u, err := feature.NewUtility(ep.Space.Profile, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := ep.Index.TopK(u, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fresh.Packages) != len(e.res.Packages) {
+			t.Fatalf("epoch %d: retained entry w=%v has %d packages, fresh search %d",
+				ep.ID, w, len(e.res.Packages), len(fresh.Packages))
+		}
+		for i := range fresh.Packages {
+			g, f := e.res.Packages[i], fresh.Packages[i]
+			if g.Pkg.Signature() != f.Pkg.Signature() || math.Float64bits(g.Utility) != math.Float64bits(f.Utility) {
+				t.Fatalf("epoch %d: retained entry w=%v diverges at package %d: cached %s/%v, fresh %s/%v (footprint %+v)",
+					ep.ID, w, i, g.Pkg.Signature(), g.Utility, f.Pkg.Signature(), f.Utility, e.res.FP)
+			}
+		}
+		checked++
+	}
+	return checked
+}
+
+// churn applies one random mutation — insert batch, reprice, delete, or
+// null-valued reprice — and returns the next fresh stable ID to use.
+func churn(t *testing.T, cat *catalog.Catalog, rng *rand.Rand, nextID int) int {
+	t.Helper()
+	ep := cat.Current()
+	switch rng.Intn(4) {
+	case 0: // insert 1-3 new items
+		batch := make([]feature.Item, 1+rng.Intn(3))
+		for i := range batch {
+			batch[i] = feature.Item{ID: nextID, Name: "new", Values: []float64{rng.Float64(), rng.Float64()}}
+			nextID++
+		}
+		if err := cat.Upsert(batch); err != nil {
+			t.Fatal(err)
+		}
+	case 1: // reprice an existing item
+		i := rng.Intn(len(ep.Items()))
+		it := ep.Items()[i]
+		it.ID = ep.StableID(i)
+		it.Values = []float64{rng.Float64(), rng.Float64()}
+		if err := cat.Upsert([]feature.Item{it}); err != nil {
+			t.Fatal(err)
+		}
+	case 2: // delete an existing item (keep the catalogue searchable)
+		if len(ep.Items()) <= 8 {
+			return churn(t, cat, rng, nextID)
+		}
+		if _, err := cat.Delete([]int{ep.StableID(rng.Intn(len(ep.Items())))}); err != nil {
+			t.Fatal(err)
+		}
+	default: // null out one dimension of an existing item
+		i := rng.Intn(len(ep.Items()))
+		it := ep.Items()[i]
+		it.ID = ep.StableID(i)
+		it.Values = []float64{feature.Null, rng.Float64()}
+		if err := cat.Upsert([]feature.Item{it}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nextID
+}
+
+// TestCacheRetentionBitIdentical is the tentpole's correctness property:
+// across ≥100 randomized delta-churn trials (inserts, deletes, reprices,
+// nulled values), every entry Reconcile retains serves results
+// bit-identical to a fresh search on the post-swap epoch.
+func TestCacheRetentionBitIdentical(t *testing.T) {
+	cat := liveCatalog(t, -1, 40)
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	so := retentionSearchOpts()
+	nextID, totalChecked := 1000, 0
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		// Engines cycle through a few seeds so the cache holds several
+		// engines' weight vectors, not one pool's.
+		eng, err := sh.NewEngine(int64(trial % 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Recommend(); err != nil {
+			t.Fatal(err)
+		}
+		nextID = churn(t, cat, rng, nextID)
+		totalChecked += verifyReachable(t, sh.SearchCache(), cat.Current(), so)
+	}
+	st := sh.SearchCache().Stats()
+	if st.Retained == 0 {
+		t.Fatalf("no entries retained across %d churn trials; stats %+v", trials, st)
+	}
+	if totalChecked == 0 {
+		t.Fatalf("no retained entries audited across %d churn trials; stats %+v", trials, st)
+	}
+	t.Logf("%d trials: %d retained-entry audits, stats %+v", trials, totalChecked, st)
+}
+
+// TestCacheRevivalAfterRacingPut pins a search to an epoch, lets swaps
+// land "mid-flight", then Puts the result exactly as a racing Recommend
+// would: keyed to the superseded epoch. The Put must land dead — a Get
+// under the live epoch's key misses — until a later Reconcile chains the
+// entry's footprint proof through the recorded swap history; once
+// revived, the entry must serve bit-identical to a fresh search.
+func TestCacheRevivalAfterRacingPut(t *testing.T) {
+	// 200 items against MaxAccessed=100: most reprices land outside a
+	// search's accessed set, so footprint proofs regularly survive the
+	// three hops this test chains.
+	cat := liveCatalog(t, -1, 200)
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sh.NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+	cache := sh.SearchCache()
+	so := retentionSearchOpts()
+	rng := rand.New(rand.NewSource(43))
+	reprice := func() {
+		ep := cat.Current()
+		i := rng.Intn(len(ep.Items()))
+		it := ep.Items()[i]
+		it.ID = ep.StableID(i)
+		it.Values = []float64{rng.Float64(), rng.Float64()}
+		if err := cat.Upsert([]feature.Item{it}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	revived := uint64(0)
+	for attempt := 0; attempt < 60 && revived == 0; attempt++ {
+		ep0 := cat.Current()
+		w := []float64{0.1 + rng.Float64(), 0.1 + rng.Float64()}
+		u, err := feature.NewUtility(ep0.Space.Profile, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ep0.Index.TopK(u, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reprice() // two swaps land while the search above was "in flight"
+		reprice()
+		cache.Put(searchCacheKey(t, cache, ep0.ID, so, w), res)
+		if _, ok := cache.Get(searchCacheKey(t, cache, cat.Current().ID, so, w)); ok {
+			t.Fatal("racing Put reachable under the live epoch key before any reconcile proved it")
+		}
+		before := cache.Stats()
+		reprice() // third swap: Reconcile chains the stale entry forward
+		d := cache.Stats().Revived - before.Revived
+		revived += d
+		if d > 0 {
+			// The revived entry is now reachable — and must be exact.
+			ep := cat.Current()
+			got, ok := cache.Get(searchCacheKey(t, cache, ep.ID, so, w))
+			if ok {
+				fresh, err := ep.Index.TopK(u, so)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Packages) != len(fresh.Packages) {
+					t.Fatalf("revived entry has %d packages, fresh search %d", len(got.Packages), len(fresh.Packages))
+				}
+				for i := range fresh.Packages {
+					g, f := got.Packages[i], fresh.Packages[i]
+					if g.Pkg.Signature() != f.Pkg.Signature() || math.Float64bits(g.Utility) != math.Float64bits(f.Utility) {
+						t.Fatalf("revived entry diverges at package %d: cached %s/%v, fresh %s/%v",
+							i, g.Pkg.Signature(), g.Utility, f.Pkg.Signature(), f.Utility)
+					}
+				}
+			}
+		}
+		verifyReachable(t, cache, cat.Current(), so)
+	}
+	if revived == 0 {
+		t.Fatalf("no racing Put was revived in 60 attempts; stats %+v", cache.Stats())
+	}
+}
+
+// TestReconcileRaceStalePutNeverServed runs Reconcile on the mutating
+// goroutine while concurrent engines — some mid-Recommend, pinned to the
+// epoch they resolved at entry — Get and Put continuously. Run under
+// -race this exercises the locking; the sweeps assert the serving
+// invariant: no reachable entry ever differs from a fresh search on its
+// own epoch, i.e. a stale Put is never served post-swap.
+func TestReconcileRaceStalePutNeverServed(t *testing.T) {
+	cat := liveCatalog(t, -1, 200) // see TestCacheRevivalAfterRacingPut
+	sh, err := NewLiveShared(liveConfig(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng0, err := sh.NewEngine(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng0.Recommend(); err != nil { // resident entries before churn begins
+		t.Fatal(err)
+	}
+	so := retentionSearchOpts()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			eng, err := sh.NewEngine(seed)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Recommend(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	rng := rand.New(rand.NewSource(91))
+	audited := 0
+	for i := 0; i < 40; i++ {
+		time.Sleep(2 * time.Millisecond) // let Recommends interleave between swaps
+		ep := cat.Current()
+		j := rng.Intn(len(ep.Items()))
+		it := ep.Items()[j]
+		it.ID = ep.StableID(j)
+		it.Values = []float64{rng.Float64(), rng.Float64()}
+		if err := cat.Upsert([]feature.Item{it}); err != nil { // synchronous swap + Reconcile
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			audited += verifyReachable(t, sh.SearchCache(), cat.Current(), so)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	audited += verifyReachable(t, sh.SearchCache(), cat.Current(), so)
+	st := sh.SearchCache().Stats()
+	if st.Retained == 0 || audited == 0 {
+		t.Fatalf("vacuous run: %d entries audited, stats %+v", audited, st)
+	}
+}

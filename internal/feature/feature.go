@@ -558,27 +558,24 @@ type State struct {
 	// Size is the number of items in the package (nulls included, per the
 	// paper's avg definition which divides by |p|).
 	Size int
-	// count[d], sum[d], min[d], max[d] summarize the non-null values of the
-	// feature behind dimension d.
-	count []int
-	sum   []float64
-	min   []float64
-	max   []float64
+	// agg packs the per-dimension summaries at stride 4 as
+	// [count, sum, min, max]; count is stored as a float64, which is exact
+	// for any reachable package size. The interleaved layout keeps one
+	// dimension's summary on one cache line and lets the search kernels
+	// copy a whole state with a single copy.
+	agg []float64
 }
+
+// aggStride is the number of agg slots per dimension.
+const aggStride = 4
 
 // NewState returns the state of the empty package in space s.
 func NewState(s *Space) *State {
 	d := s.Dims()
-	st := &State{
-		space: s,
-		count: make([]int, d),
-		sum:   make([]float64, d),
-		min:   make([]float64, d),
-		max:   make([]float64, d),
-	}
+	st := &State{space: s, agg: make([]float64, aggStride*d)}
 	for i := 0; i < d; i++ {
-		st.min[i] = math.Inf(1)
-		st.max[i] = math.Inf(-1)
+		st.agg[aggStride*i+2] = math.Inf(1)
+		st.agg[aggStride*i+3] = math.Inf(-1)
 	}
 	return st
 }
@@ -589,23 +586,16 @@ func NewState(s *Space) *State {
 func (st *State) CopyFrom(src *State) {
 	st.space = src.space
 	st.Size = src.Size
-	copy(st.count, src.count)
-	copy(st.sum, src.sum)
-	copy(st.min, src.min)
-	copy(st.max, src.max)
+	copy(st.agg, src.agg)
 }
 
 // Clone returns an independent copy of the state.
 func (st *State) Clone() *State {
-	cp := &State{
+	return &State{
 		space: st.space,
 		Size:  st.Size,
-		count: append([]int(nil), st.count...),
-		sum:   append([]float64(nil), st.sum...),
-		min:   append([]float64(nil), st.min...),
-		max:   append([]float64(nil), st.max...),
+		agg:   append([]float64(nil), st.agg...),
 	}
-	return cp
 }
 
 // Add folds one item's values into the state. values must have the space's
@@ -649,13 +639,14 @@ func (st *State) AddContrib(contribs []Contrib) {
 }
 
 func (st *State) fold(d int, v float64) {
-	st.count[d]++
-	st.sum[d] += v
-	if v < st.min[d] {
-		st.min[d] = v
+	b := aggStride * d
+	st.agg[b]++
+	st.agg[b+1] += v
+	if v < st.agg[b+2] {
+		st.agg[b+2] = v
 	}
-	if v > st.max[d] {
-		st.max[d] = v
+	if v > st.agg[b+3] {
+		st.agg[b+3] = v
 	}
 }
 
@@ -668,7 +659,8 @@ func (st *State) AggregateAfter(d int, c Contrib) float64 {
 	if e.Agg == AggNull {
 		return 0
 	}
-	count, sum, mn, mx := st.count[d], st.sum[d], st.min[d], st.max[d]
+	b := aggStride * d
+	count, sum, mn, mx := st.agg[b], st.agg[b+1], st.agg[b+2], st.agg[b+3]
 	if !c.Skip {
 		count++
 		sum += c.Value
@@ -699,18 +691,19 @@ func (st *State) AggregateAfter(d int, c Contrib) float64 {
 // Dimensions with no non-null contributions aggregate to 0.
 func (st *State) Aggregate(d int) float64 {
 	e := st.space.Profile.entries[d]
-	if e.Agg == AggNull || st.count[d] == 0 {
+	b := aggStride * d
+	if e.Agg == AggNull || st.agg[b] == 0 {
 		return 0
 	}
 	switch e.Agg {
 	case AggMin:
-		return st.min[d]
+		return st.agg[b+2]
 	case AggMax:
-		return st.max[d]
+		return st.agg[b+3]
 	case AggSum:
-		return st.sum[d]
+		return st.agg[b+1]
 	case AggAvg:
-		return st.sum[d] / float64(st.Size)
+		return st.agg[b+1] / float64(st.Size)
 	}
 	return 0
 }
@@ -731,6 +724,444 @@ func (st *State) VectorInto(dst []float64) []float64 {
 		dst[d] = st.Aggregate(d) / st.space.Norm.Scale(d)
 	}
 	return dst
+}
+
+// Pad modes select which imaginary contributions PadUpper may choose for a
+// dimension with an active sorted list: the list's boundary value τ, a null
+// contribution, or whichever of the two scores higher (attainable when the
+// feature has nulls in the dataset).
+const (
+	PadTau uint8 = iota
+	PadTauOrSkip
+	PadSkip
+)
+
+// kernelDim is one dimension's precomputed constants for the fused search
+// kernels: weight, normalization scale, feature index, flat agg offset and
+// aggregation kind. Hoisting these out of the per-round loops is what makes
+// the kernels cheap — the hot path touches one small struct per dimension
+// instead of chasing profile, normalizer and weight slices.
+type kernelDim struct {
+	w, scale float64
+	feat     int32
+	b        int32
+	kind     Agg
+}
+
+func makeKernelDim(s *Space, u *Utility, d int) kernelDim {
+	e := s.Profile.entries[d]
+	return kernelDim{
+		w:     u.W[d],
+		scale: s.Norm.scales[d],
+		feat:  int32(e.Feature),
+		b:     int32(aggStride * d),
+		kind:  e.Agg,
+	}
+}
+
+// ScorePlan caches the constants ScoreAfter reads: every dimension with
+// non-zero weight, in ascending dimension order. uncov lists the agg base
+// offsets of the remaining slots — zero-weight or null-aggregated
+// dimensions — which GrowFrom carries over from the parent verbatim.
+type ScorePlan struct {
+	dims  []kernelDim
+	uncov []int32
+}
+
+// NewScorePlan builds the ScoreAfter plan for utility u over space s.
+func NewScorePlan(s *Space, u *Utility) *ScorePlan {
+	pl := &ScorePlan{}
+	for d := 0; d < s.Dims(); d++ {
+		if u.W[d] != 0 {
+			pl.dims = append(pl.dims, makeKernelDim(s, u, d))
+		}
+		if u.W[d] == 0 || s.Profile.entries[d].Agg == AggNull {
+			pl.uncov = append(pl.uncov, int32(aggStride*d))
+		}
+	}
+	return pl
+}
+
+// PadPlan caches the constants PadUpper reads: skips are the non-zero-weight
+// dimensions without an active sorted list, lists the dimensions with one,
+// both in ascending dimension order.
+type PadPlan struct {
+	skips []kernelDim
+	lists []kernelDim
+}
+
+// NewPadPlan builds the PadUpper plan for utility u over space s from the
+// two dimension groups (each ascending).
+func NewPadPlan(s *Space, u *Utility, skipDims, listDims []int) *PadPlan {
+	pl := &PadPlan{}
+	for _, d := range skipDims {
+		pl.skips = append(pl.skips, makeKernelDim(s, u, d))
+	}
+	for _, d := range listDims {
+		pl.lists = append(pl.lists, makeKernelDim(s, u, d))
+	}
+	return pl
+}
+
+// GrowFrom overwrites st with src grown by item it, folding only the
+// dimensions the plan covers. Safe only when st is read exclusively through
+// plan-covered (non-zero-weight) dimensions — zero-weight slots keep the
+// parent's values. This is the fused CopyFrom+Add of the search hot path.
+func (st *State) GrowFrom(src *State, pl *ScorePlan, it Item) {
+	st.space = src.space
+	st.Size = src.Size + 1
+	dst, sa := st.agg, src.agg
+	// Slots the plan never reads are carried over verbatim; plan-covered
+	// slots are written outright below, so no full copy is needed.
+	for _, b := range pl.uncov {
+		dst[b] = sa[b]
+		dst[b+1] = sa[b+1]
+		dst[b+2] = sa[b+2]
+		dst[b+3] = sa[b+3]
+	}
+	vals := it.Values
+	for i := range pl.dims {
+		kd := &pl.dims[i]
+		if kd.kind == AggNull {
+			continue
+		}
+		b := kd.b
+		count, sum := sa[b], sa[b+1]
+		mn, mx := sa[b+2], sa[b+3]
+		if v := vals[kd.feat]; !IsNull(v) {
+			count++
+			sum += v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		dst[b] = count
+		dst[b+1] = sum
+		dst[b+2] = mn
+		dst[b+3] = mx
+	}
+}
+
+// ScoreAfter returns U(p ∪ {t}) without materializing the grown state —
+// the fused equivalent of summing w·AggregateAfter/scale over the non-zero
+// dimensions, bit-identical to that loop.
+func (st *State) ScoreAfter(pl *ScorePlan, it Item) float64 {
+	agg := st.agg
+	vals := it.Values
+	szp1 := float64(st.Size + 1)
+	util := 0.0
+	for i := range pl.dims {
+		kd := &pl.dims[i]
+		var a float64
+		if kd.kind != AggNull {
+			b := kd.b
+			count, sum := agg[b], agg[b+1]
+			mn, mx := agg[b+2], agg[b+3]
+			if v := vals[kd.feat]; !IsNull(v) {
+				count++
+				sum += v
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if count != 0 {
+				// Branch-free aggregate selection: the per-dimension kind
+				// varies within one loop, so a switch here mispredicts on
+				// nearly every iteration. Materializing all four candidates
+				// and indexing by kind trades two cheap ALU ops (the division
+				// is computed unconditionally) for the mispredict penalty.
+				// Each candidate is the exact expression the switch would
+				// compute, so the selected value is bit-identical.
+				sel := [4]float64{mn, mx, sum, sum / szp1}
+				a = sel[kd.kind-1]
+			}
+		}
+		util += kd.w * a / kd.scale
+	}
+	return util
+}
+
+// ScoreAfterBatch writes U(p ∪ {t}) for each state into out (parallel to
+// states), bit-identical to calling ScoreAfter on each state individually.
+// Transposing the loops — dimensions outer, states inner — hoists the item
+// value, its null test and the aggregation-kind dispatch out of the inner
+// loop, so the per-state work is a handful of loads and one fused
+// multiply-divide with no data-dependent branches. out entries accumulate
+// per-dimension terms in the same ascending-dimension order as ScoreAfter.
+func ScoreAfterBatch(pl *ScorePlan, it Item, states []*State, out []float64) {
+	for j := range out {
+		out[j] = 0
+	}
+	for i := range pl.dims {
+		kd := &pl.dims[i]
+		if kd.kind == AggNull {
+			// ScoreAfter adds w·0/scale for null-aggregated dimensions; the
+			// term is the same for every state.
+			z := kd.w * 0 / kd.scale
+			for j := range out {
+				out[j] += z
+			}
+			continue
+		}
+		b := kd.b
+		v := it.Values[kd.feat]
+		if IsNull(v) {
+			// No fold: the aggregate is the state's own (0 when empty).
+			for j, st := range states {
+				agg := st.agg
+				var a float64
+				if agg[b] != 0 {
+					switch kd.kind {
+					case AggMin:
+						a = agg[b+2]
+					case AggMax:
+						a = agg[b+3]
+					case AggSum:
+						a = agg[b+1]
+					case AggAvg:
+						a = agg[b+1] / float64(st.Size+1)
+					}
+				}
+				out[j] += kd.w * a / kd.scale
+			}
+			continue
+		}
+		// Non-null fold: the post-fold count is at least one, so the
+		// count-zero guard of ScoreAfter always passes.
+		switch kd.kind {
+		case AggMin:
+			for j, st := range states {
+				mn := st.agg[b+2]
+				if v < mn {
+					mn = v
+				}
+				out[j] += kd.w * mn / kd.scale
+			}
+		case AggMax:
+			for j, st := range states {
+				mx := st.agg[b+3]
+				if v > mx {
+					mx = v
+				}
+				out[j] += kd.w * mx / kd.scale
+			}
+		case AggSum:
+			for j, st := range states {
+				sum := st.agg[b+1] + v
+				out[j] += kd.w * sum / kd.scale
+			}
+		case AggAvg:
+			for j, st := range states {
+				sum := st.agg[b+1] + v
+				a := sum / float64(st.Size+1)
+				out[j] += kd.w * a / kd.scale
+			}
+		}
+	}
+}
+
+// PadUpper is the fused upper-exp padding loop (search Algorithm 3): it
+// repeatedly extends st with the per-dimension best imaginary contribution
+// until the size cap phi, returning the running maximum utility over pad
+// counts 1..phi−Size. It mutates the receiver (callers pass a scratch copy).
+//
+// modes and taus parallel pl.lists: each list dimension's pad mode and
+// current boundary value τ. Per round each dimension's contribution is
+// computed against the pre-round state (each fold touches only its own
+// dimension's slots, and the size divisor advances once per round), so the
+// result is bit-identical to the unfused choose-then-fold formulation; ties
+// between τ and a null contribution keep τ.
+func (st *State) PadUpper(pl *PadPlan, modes []uint8, taus []float64, phi int) float64 {
+	agg := st.agg
+	best := math.Inf(-1)
+	for st.Size < phi {
+		szp1 := float64(st.Size + 1)
+		util := 0.0
+		for i := range pl.skips {
+			kd := &pl.skips[i]
+			var a float64
+			if kd.kind != AggNull {
+				b := kd.b
+				if agg[b] != 0 {
+					switch kd.kind {
+					case AggMin:
+						a = agg[b+2]
+					case AggMax:
+						a = agg[b+3]
+					case AggSum:
+						a = agg[b+1]
+					case AggAvg:
+						a = agg[b+1] / szp1
+					}
+				}
+			}
+			util += kd.w * a / kd.scale
+		}
+		for i := range pl.lists {
+			kd := &pl.lists[i]
+			b := kd.b
+			mode := modes[i]
+			var bestVal, tau float64
+			foldTau := false
+			if mode != PadSkip {
+				tau = taus[i]
+				sum := agg[b+1] + tau
+				mn, mx := agg[b+2], agg[b+3]
+				if tau < mn {
+					mn = tau
+				}
+				if tau > mx {
+					mx = tau
+				}
+				var a float64
+				switch kd.kind {
+				case AggMin:
+					a = mn
+				case AggMax:
+					a = mx
+				case AggSum:
+					a = sum
+				case AggAvg:
+					a = sum / szp1
+				}
+				bestVal = kd.w * a / kd.scale
+				foldTau = true
+			}
+			if mode != PadTau {
+				var a float64
+				if agg[b] != 0 {
+					switch kd.kind {
+					case AggMin:
+						a = agg[b+2]
+					case AggMax:
+						a = agg[b+3]
+					case AggSum:
+						a = agg[b+1]
+					case AggAvg:
+						a = agg[b+1] / szp1
+					}
+				}
+				if v := kd.w * a / kd.scale; mode == PadSkip || v > bestVal {
+					bestVal = v
+					foldTau = false
+				}
+			}
+			util += bestVal
+			if foldTau {
+				agg[b]++
+				agg[b+1] += tau
+				if tau < agg[b+2] {
+					agg[b+2] = tau
+				}
+				if tau > agg[b+3] {
+					agg[b+3] = tau
+				}
+			}
+		}
+		st.Size++
+		if util > best {
+			best = util
+		}
+	}
+	return best
+}
+
+// padFastDims caps the list-dimension count PadUpperTau can handle with its
+// stack-resident scratch; callers fall back to PadUpper above it.
+const padFastDims = 16
+
+// PadUpperTau is PadUpper specialized to runs where every list dimension
+// still pads with its boundary value τ (mode PadTau throughout) — the common
+// case for null-free datasets with live cursors. τ is constant within a
+// call, so a dimension's min/max slots stop moving after the first fold and
+// its sum advances by exactly τ per round; the loop below replays PadUpper's
+// float operation sequence on stack locals instead of folding into the agg
+// array, which lets callers skip the scratch copy entirely. The receiver is
+// not modified. Bit-identical to PadUpper with all modes PadTau: per-round
+// sums chain through the same additions, min/max fold to the same constant,
+// and the per-dimension w·a/scale terms accumulate in the same order.
+// len(pl.lists) must be at most padFastDims.
+func (st *State) PadUpperTau(pl *PadPlan, taus []float64, phi int) float64 {
+	agg := st.agg
+	n := len(pl.lists)
+	// cls 0: constant contribution (min/max — precomputed in consts);
+	// cls 1: sum (linear in pad count); cls 2: avg (sum with moving divisor).
+	var sums, consts, ws, scales [padFastDims]float64
+	var cls [padFastDims]uint8
+	for i := 0; i < n; i++ {
+		kd := &pl.lists[i]
+		b := kd.b
+		tau := taus[i]
+		ws[i], scales[i] = kd.w, kd.scale
+		switch kd.kind {
+		case AggMin:
+			mn := agg[b+2]
+			if tau < mn {
+				mn = tau
+			}
+			consts[i] = kd.w * mn / kd.scale
+		case AggMax:
+			mx := agg[b+3]
+			if tau > mx {
+				mx = tau
+			}
+			consts[i] = kd.w * mx / kd.scale
+		case AggSum:
+			sums[i], cls[i] = agg[b+1], 1
+		case AggAvg:
+			sums[i], cls[i] = agg[b+1], 2
+		}
+	}
+	best := math.Inf(-1)
+	for sz := st.Size; sz < phi; sz++ {
+		szp1 := float64(sz + 1)
+		util := 0.0
+		for i := range pl.skips {
+			kd := &pl.skips[i]
+			var a float64
+			if kd.kind != AggNull {
+				b := kd.b
+				if agg[b] != 0 {
+					switch kd.kind {
+					case AggMin:
+						a = agg[b+2]
+					case AggMax:
+						a = agg[b+3]
+					case AggSum:
+						a = agg[b+1]
+					case AggAvg:
+						a = agg[b+1] / szp1
+					}
+				}
+			}
+			util += kd.w * a / kd.scale
+		}
+		for i := 0; i < n; i++ {
+			switch cls[i] {
+			case 0:
+				util += consts[i]
+			case 1:
+				s := sums[i] + taus[i]
+				sums[i] = s
+				util += ws[i] * s / scales[i]
+			default:
+				s := sums[i] + taus[i]
+				sums[i] = s
+				a := s / szp1
+				util += ws[i] * a / scales[i]
+			}
+		}
+		if util > best {
+			best = util
+		}
+	}
+	return best
 }
 
 // Utility is the linear utility function U(p) = w·p⃗ over normalized

@@ -89,6 +89,61 @@ type Result struct {
 	Created int
 	// Truncated reports that MaxQueue forced dropping expandable packages.
 	Truncated bool
+	// FP is the conservative read footprint of the run, recorded so an
+	// epoch-survivable result cache can prove a catalogue delta cannot have
+	// changed this result (see Footprint). Nil for degenerate runs (no
+	// active lists), which read the whole space.
+	FP *Footprint
+}
+
+// DimBound records, for one utility dimension the search weighted, how far
+// its sorted list was consumed. The search replays bit-identically on a new
+// epoch as long as no unconsumed item moves into a consumed prefix: an
+// inserted or re-priced item whose value reaches Tau (ties included — list
+// order breaks ties by dense id) would be drawn and change the trace.
+type DimBound struct {
+	// Dim is the profile entry index; Feat its underlying item feature.
+	Dim, Feat int32
+	// HasList reports whether the dimension had a sorted-list cursor. A
+	// weighted dimension without one (every item null on the feature) is
+	// invalidated by any item gaining a value there: the fresh search would
+	// build a cursor the cached run never had.
+	HasList bool
+	// Desc is the traversal direction (true for positive weight).
+	Desc bool
+	// Done reports the cursor consumed its whole list; any new list member
+	// would extend the consumed prefix.
+	Done bool
+	// Tau is the boundary value of the last drawn item (meaningful only
+	// when HasList).
+	Tau float64
+}
+
+// Footprint is everything a Top-k-Pkg run read, summarized conservatively:
+// the distinct items materialized into the run (sorted dense ids), the
+// per-dimension list prefixes consumed, how far the orphan drain got, and
+// the admission bound (k-th package utility) the issue's retention rule
+// additionally tests inserted items against.
+type Footprint struct {
+	// Accessed holds the dense ids of every item the run drew, sorted
+	// ascending. Any change to one of these items changes what the search
+	// read.
+	Accessed []int32
+	// Bounds has one entry per weighted non-null profile dimension.
+	Bounds []DimBound
+	// OrphanOpen reports the orphan drain loop ran to completion without
+	// closing the bound: a fresh search would access any newly orphaned
+	// item, wherever it lands.
+	OrphanOpen bool
+	// OrphanTau is the dense id of the orphan the drain loop broke at (-1
+	// if it never drew one): newly orphaned items at or below it would be
+	// drawn before the same break.
+	OrphanTau int32
+	// Admission is the k-th best package utility at termination (-Inf when
+	// fewer than K candidates were found).
+	Admission float64
+	// Weights aliases the run's weight vector (utilities are immutable).
+	Weights []float64
 }
 
 // Index holds the per-entry sorted item lists for a space, so that repeated
@@ -200,12 +255,25 @@ type run struct {
 	// hasList[d] reports whether profile entry d has an active cursor.
 	hasList []bool
 
+	// Fused-kernel plans (per-dimension constants hoisted out of the hot
+	// loops): scorePlan drives ScoreAfter, padPlan drives PadUpper.
+	// padModes/padTaus mirror r.lists in order (ascending dimension),
+	// updated as each cursor's τ advances.
+	scorePlan *feature.ScorePlan
+	padPlan   *feature.PadPlan
+	padModes  []uint8
+	padTaus   []float64
+
+	// fastPad is true while every pad mode is PadTau (no nullable features,
+	// no exhausted cursors), enabling the non-mutating PadUpperTau kernel
+	// that skips the scratch copy. Cleared the moment any cursor exhausts.
+	fastPad bool
+
 	// Reusable scratch buffers for the hot expansion path. scratch backs
 	// upperExp's padding; scratchGrow holds tentative grown states (the two
 	// must stay distinct — upperExp copies its argument into scratch).
 	scratch     *feature.State
 	scratchGrow *feature.State
-	contribs    []feature.Contrib
 
 	// Recycling pools scoped to this run: packages dropped from Q+ donate
 	// their aggregate states and id buffers to newly materialized children,
@@ -215,23 +283,21 @@ type run struct {
 	freeStates []*feature.State
 	freePkgs   []*pkg
 	newcomers  []*pkg
-}
 
-// takeState returns a state holding a copy of src, reusing a recycled one
-// when available.
-func (r *run) takeState(src *feature.State) *feature.State {
-	n := len(r.freeStates)
-	if n == 0 {
-		return src.Clone()
-	}
-	st := r.freeStates[n-1]
-	r.freeStates = r.freeStates[:n-1]
-	st.CopyFrom(src)
-	return st
+	// boundScratch backs truncate's primitive bound sort.
+	boundScratch []float64
+
+	// stScratch/guScratch back expand's batched grow-utility pre-pass:
+	// per round, the states of every queued package and their ScoreAfter
+	// utilities against the drawn item, computed in one transposed sweep.
+	stScratch []*feature.State
+	guScratch []float64
 }
 
 // newChild materializes p ∪ {item} with the given precomputed utility,
-// reusing a recycled pkg shell and state when available.
+// reusing a recycled pkg shell and state when available. The child state is
+// grown through the score plan (GrowFrom), which only maintains the
+// dimensions the run ever reads.
 func (r *run) newChild(p *pkg, item int, it feature.Item, util float64) *pkg {
 	var np *pkg
 	if n := len(r.freePkgs); n > 0 {
@@ -240,8 +306,15 @@ func (r *run) newChild(p *pkg, item int, it feature.Item, util float64) *pkg {
 	} else {
 		np = &pkg{}
 	}
-	np.state = r.takeState(p.state)
-	np.state.Add(it)
+	var st *feature.State
+	if n := len(r.freeStates); n > 0 {
+		st = r.freeStates[n-1]
+		r.freeStates = r.freeStates[:n-1]
+	} else {
+		st = feature.NewState(r.ix.space)
+	}
+	st.GrowFrom(p.state, r.scorePlan, it)
+	np.state = st
 	np.ids = append(append(np.ids[:0], p.ids...), item)
 	np.util = util
 	np.bound, np.boundRound = 0, 0
@@ -287,7 +360,6 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		maxQueue:     opts.MaxQueue,
 		scratch:      feature.NewState(ix.space),
 		scratchGrow:  feature.NewState(ix.space),
-		contribs:     make([]feature.Contrib, ix.space.Dims()),
 	}
 	if r.maxQueue == 0 {
 		r.maxQueue = DefaultMaxQueue
@@ -323,6 +395,32 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 	for li := range r.lists {
 		r.hasList[r.lists[li].dim] = true
 	}
+	var skipDims, listDims []int
+	for d := 0; d < ix.space.Dims(); d++ {
+		if u.W[d] != 0 && !r.hasList[d] {
+			skipDims = append(skipDims, d)
+		}
+	}
+	r.padModes = make([]uint8, len(r.lists))
+	r.padTaus = make([]float64, len(r.lists))
+	for li := range r.lists {
+		lc := &r.lists[li]
+		listDims = append(listDims, lc.dim)
+		r.padTaus[li] = lc.tau
+		if ix.space.HasNull(lc.feat) {
+			r.padModes[li] = feature.PadTauOrSkip
+		} else {
+			r.padModes[li] = feature.PadTau
+		}
+	}
+	r.fastPad = len(r.lists) <= 16
+	for _, m := range r.padModes {
+		if m != feature.PadTau {
+			r.fastPad = false
+		}
+	}
+	r.scorePlan = feature.NewScorePlan(ix.space, u)
+	r.padPlan = feature.NewPadPlan(ix.space, u, skipDims, listDims)
 
 	empty := &pkg{state: feature.NewState(ix.space), util: 0}
 	empty.bound = r.upperExp(empty.state)
@@ -352,7 +450,10 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 	// Drain orphans (items null on every active feature): they can only
 	// matter through size effects (avg denominators), so only in ExpandAll
 	// mode can they change results; access them for completeness.
+	orphanOpen := false
+	orphanTau := int32(-1)
 	if len(r.qPlus) > 0 {
+		orphanOpen = true
 		for _, o := range r.ix.orphans {
 			if !r.accessedSeen[o] {
 				r.accessedSeen[o] = true
@@ -360,6 +461,8 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 				r.accessed++
 				etaLo, etaUp := r.expand(int(o))
 				if etaUp <= etaLo || len(r.qPlus) == 0 {
+					orphanOpen = false
+					orphanTau = o
 					break
 				}
 			}
@@ -371,7 +474,42 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		Accessed:  r.accessed,
 		Created:   r.created,
 		Truncated: r.truncated,
+		FP:        r.footprint(orphanOpen, orphanTau),
 	}, nil
+}
+
+// footprint assembles the run's conservative read summary (see Footprint).
+// The accessed-id slice is donated to the footprint after an in-place sort
+// (safe: the deferred bitmap reset only reads the values), so capture costs
+// two allocations per run — the Footprint itself and its Bounds slice.
+func (r *run) footprint(orphanOpen bool, orphanTau int32) *Footprint {
+	slices.Sort(r.accessedIDs)
+	bounds := make([]DimBound, 0, len(r.lists))
+	li := 0
+	for d := 0; d < r.ix.space.Dims(); d++ {
+		e := r.ix.space.Profile.Entry(d)
+		if r.u.W[d] == 0 || e.Agg == feature.AggNull {
+			continue
+		}
+		if r.hasList[d] {
+			lc := &r.lists[li]
+			li++
+			bounds = append(bounds, DimBound{
+				Dim: int32(d), Feat: int32(e.Feature),
+				HasList: true, Desc: lc.desc, Done: lc.done, Tau: lc.tau,
+			})
+		} else {
+			bounds = append(bounds, DimBound{Dim: int32(d), Feat: int32(e.Feature)})
+		}
+	}
+	return &Footprint{
+		Accessed:   r.accessedIDs,
+		Bounds:     bounds,
+		OrphanOpen: orphanOpen,
+		OrphanTau:  orphanTau,
+		Admission:  r.cands.kthUtility(),
+		Weights:    r.u.W,
+	}
 }
 
 // nextItem performs one sorted access in round-robin fashion, updating the
@@ -380,7 +518,8 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 func (r *run) nextItem(rr *int) (int32, bool) {
 	n := len(r.lists)
 	for tries := 0; tries < n; tries++ {
-		lc := &r.lists[*rr]
+		li := *rr
+		lc := &r.lists[li]
 		*rr = (*rr + 1) % n
 		if lc.done {
 			continue
@@ -393,8 +532,11 @@ func (r *run) nextItem(rr *int) (int32, bool) {
 		}
 		lc.pos++
 		lc.tau = r.ix.space.Items[id].Values[lc.feat]
+		r.padTaus[li] = lc.tau
 		if lc.pos >= len(lc.ids) {
 			lc.done = true
+			r.padModes[li] = feature.PadSkip
+			r.fastPad = false
 		}
 		return id, true
 	}
@@ -426,9 +568,27 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 	prune := !r.opts.DisableBoundPrune && r.cands.full()
 
 	r.round++
+	// Batched grow-utility pre-pass: score every queued package against the
+	// item in one transposed sweep (dimensions outer, states inner), which
+	// hoists the per-dimension constants out of the per-package loop. The
+	// values are exactly what per-package ScoreAfter calls would return; the
+	// main loop below consumes them without any change in decision order.
+	// Packages released by the bound prune before reaching the improvement
+	// test simply leave their entry unused.
+	states := r.stScratch[:0]
+	for _, p := range r.qPlus {
+		states = append(states, p.state)
+	}
+	r.stScratch = states
+	if cap(r.guScratch) < len(states) {
+		r.guScratch = make([]float64, len(states))
+	}
+	gus := r.guScratch[:len(states)]
+	feature.ScoreAfterBatch(r.scorePlan, it, states, gus)
+
 	survivors := r.qPlus[:0]
 	newcomers := r.newcomers[:0]
-	for _, p := range r.qPlus {
+	for pi, p := range r.qPlus {
 		// Refresh the extension bound lazily; a stale bound is still an
 		// upper bound, so pruning on it stays sound.
 		if r.round-p.boundRound >= boundRefresh {
@@ -442,21 +602,23 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 			continue
 		}
 		if p.state.Size < phi {
-			// Utility after adding the item, computed without cloning the
-			// aggregate state (the common case is rejection).
-			gu := r.scoreAfterAdd(p.state, it)
+			// Utility after adding the item, from the batched pre-pass.
+			gu := gus[pi]
 			// Line 3: the paper grows a package only when the new item
 			// strictly improves it; ExpandAll disables that heuristic, and
 			// the empty package always grows (correction 1).
 			if r.opts.ExpandAll || p.state.Size == 0 || gu > p.util {
 				// Materialize the child only if it can matter — as a
 				// candidate (gu above the bar) or as an ancestor of one
-				// (extension bound above the bar, checked on scratch).
+				// (extension bound above the bar, checked on scratch). The
+				// bound computed here is reused as the child's queue bound:
+				// both are taken against this round's τ.
 				worth := !prune || gu > etaLo
+				growBound, haveBound := 0.0, false
 				if !worth {
-					r.scratchGrow.CopyFrom(p.state)
-					r.scratchGrow.Add(it)
-					worth = r.upperExp(r.scratchGrow) > etaLo
+					r.scratchGrow.GrowFrom(p.state, r.scorePlan, it)
+					growBound, haveBound = r.upperExp(r.scratchGrow), true
+					worth = growBound > etaLo
 				}
 				if worth {
 					np := r.newChild(p, item, it, gu)
@@ -469,7 +631,11 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 						}
 						// Lines 5–8: keep the new package expandable while
 						// its extensions can still matter.
-						np.bound = r.upperExp(np.state)
+						if haveBound {
+							np.bound = growBound
+						} else {
+							np.bound = r.upperExp(np.state)
+						}
 						np.boundRound = r.round
 						if r.keep(np, etaLo, prune) {
 							if np.bound > etaUp {
@@ -503,36 +669,99 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 	r.newcomers = newcomers[:0]
 
 	if r.maxQueue > 0 && len(r.qPlus) > r.maxQueue {
-		slices.SortFunc(r.qPlus, func(a, b *pkg) int { return cmp.Compare(b.bound, a.bound) })
-		for _, p := range r.qPlus[r.maxQueue:] {
-			r.release(p)
-		}
-		r.qPlus = r.qPlus[:r.maxQueue]
-		r.truncated = true
+		r.truncate()
 	}
 	return etaLo, etaUp
 }
 
-// scoreAfterAdd returns U(p ∪ {t}) from p's aggregate state in O(dims)
-// without materializing the grown state.
-func (r *run) scoreAfterAdd(st *feature.State, it feature.Item) float64 {
-	sp := r.ix.space
-	util := 0.0
-	for d := 0; d < sp.Dims(); d++ {
-		w := r.u.W[d]
-		if w == 0 {
-			continue
-		}
-		e := sp.Profile.Entry(d)
-		c := feature.Contrib{Skip: true}
-		if e.Agg != feature.AggNull {
-			if v := it.Values[e.Feature]; !feature.IsNull(v) {
-				c = feature.Contrib{Value: v}
-			}
-		}
-		util += w * st.AggregateAfter(d, c) / sp.Norm.Scale(d)
+// truncate enforces the Q+ cap, keeping the maxQueue packages with the
+// highest extension bounds. The threshold is found by sorting a scratch
+// copy of the bound values (primitive sort — far cheaper than ordering the
+// packages themselves); survivors keep their queue order, with ties at the
+// threshold resolved in queue order. Deterministic: the outcome depends
+// only on the bounds and the queue order, never on sort internals.
+func (r *run) truncate() {
+	bounds := r.boundScratch[:0]
+	for _, p := range r.qPlus {
+		bounds = append(bounds, p.bound)
 	}
-	return util
+	r.boundScratch = bounds
+	thr := selectKth(bounds, len(bounds)-r.maxQueue)
+	// Packages strictly above the threshold all survive; ties at the
+	// threshold fill the remaining slots in queue order.
+	above := 0
+	for _, p := range r.qPlus {
+		if p.bound > thr {
+			above++
+		}
+	}
+	ties := r.maxQueue - above
+	kept := r.qPlus[:0]
+	for _, p := range r.qPlus {
+		switch {
+		case p.bound > thr:
+			kept = append(kept, p)
+		case p.bound == thr && ties > 0:
+			ties--
+			kept = append(kept, p)
+		default:
+			r.release(p)
+		}
+	}
+	r.qPlus = kept
+	r.truncated = true
+}
+
+// selectKth returns the k-th smallest element of xs (0-based), reordering
+// xs in place — a median-of-three quickselect. The returned order statistic
+// is uniquely defined, so truncation outcomes never depend on the selection
+// algorithm's internals. xs must be NaN-free (bounds always are).
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for hi > lo {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+					xs[j], xs[j-1] = xs[j-1], xs[j]
+				}
+			}
+			return xs[k]
+		}
+		// Median-of-three pivot, moved to lo.
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		xs[lo], xs[mid] = xs[mid], xs[lo]
+		pivot := xs[lo]
+		i, j := lo, hi+1
+		for {
+			for i++; i <= hi && xs[i] < pivot; i++ {
+			}
+			for j--; xs[j] > pivot; j-- {
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		xs[lo], xs[j] = xs[j], xs[lo]
+		switch {
+		case j == k:
+			return xs[k]
+		case j < k:
+			lo = j + 1
+		default:
+			hi = j - 1
+		}
+	}
+	return xs[k]
 }
 
 // keep decides whether a package stays in Q+ given its refreshed extension
@@ -568,79 +797,32 @@ func (r *run) offer(p *pkg) {
 	r.cands.offer(pkgspace.Scored{Pkg: cand, Utility: p.util})
 }
 
-// padBest chooses, per profile entry, the imaginary contribution that
-// maximizes utility — the boundary value τ of the entry's list, or a null
-// contribution when attainable (list exhausted, or the dataset has nulls on
-// that feature) — filling r.contribs in place and returning the utility of
-// the package extended by that imaginary item. This generalizes the
-// τ-padding of Algorithm 3 to nulls and negative weights; see DESIGN.md.
-func (r *run) padBest(st *feature.State) ([]feature.Contrib, float64) {
-	sp := r.ix.space
-	contribs := r.contribs
-	for d := range contribs {
-		contribs[d] = feature.Contrib{Skip: true}
-	}
-	util := 0.0
-	// Entries without an active list (zero weight handled below; null agg
-	// or all-null feature) contribute their skip aggregate.
-	for d := 0; d < sp.Dims(); d++ {
-		w := r.u.W[d]
-		if w == 0 || r.hasList[d] {
-			continue
-		}
-		util += w * st.AggregateAfter(d, feature.Contrib{Skip: true}) / sp.Norm.Scale(d)
-	}
-	for li := range r.lists {
-		lc := &r.lists[li]
-		d := lc.dim
-		w := r.u.W[d]
-		scale := sp.Norm.Scale(d)
-		var best feature.Contrib
-		var bestVal float64
-		haveBest := false
-		if !lc.done {
-			c := feature.Contrib{Value: lc.tau}
-			v := w * st.AggregateAfter(d, c) / scale
-			best, bestVal, haveBest = c, v, true
-		}
-		if lc.done || sp.HasNull(lc.feat) {
-			c := feature.Contrib{Skip: true}
-			v := w * st.AggregateAfter(d, c) / scale
-			if !haveBest || v > bestVal {
-				best, bestVal = c, v
-			}
-		}
-		contribs[d] = best
-		util += bestVal
-	}
-	return contribs, util
-}
-
 // upperExp is Algorithm 3 with a sound stopping rule: the maximum utility
 // any proper extension of the package can reach, obtained by padding with
-// the per-entry best imaginary contribution up to the size cap and taking
-// the running maximum over pad counts 1..φ−|p|. (The paper stops greedily
-// at the first non-improving pad, justified by Lemma 3's non-increasing
+// the per-entry best imaginary contribution — the boundary value τ of the
+// entry's list, or a null contribution when attainable (list exhausted, or
+// the dataset has nulls on that feature) — up to the size cap, taking the
+// running maximum over pad counts 1..φ−|p|. (The paper stops greedily at
+// the first non-improving pad, justified by Lemma 3's non-increasing
 // marginals; that lemma fails for avg — marginals increase toward zero as
 // the average converges to τ — so the greedy stop can underestimate. The
 // running maximum costs the same O(φ·d) and is always an upper bound.)
-// Returns -Inf when the package is already at the size cap.
+// Returns -Inf when the package is already at the size cap. The padding
+// loop itself is the fused feature.PadUpper kernel, driven by the pad
+// descriptors nextItem keeps in sync with the cursors.
 func (r *run) upperExp(st *feature.State) float64 {
 	phi := r.ix.space.MaxSize
 	if st.Size >= phi {
 		return negInf
 	}
-	best := negInf
+	if r.fastPad {
+		// All-PadTau runs take the non-mutating kernel: no scratch copy,
+		// no agg folds, bit-identical result.
+		return st.PadUpperTau(r.padPlan, r.padTaus, phi)
+	}
 	s := r.scratch
 	s.CopyFrom(st)
-	for s.Size < phi {
-		contribs, after := r.padBest(s)
-		if after > best {
-			best = after
-		}
-		s.AddContrib(contribs)
-	}
-	return best
+	return s.PadUpper(r.padPlan, r.padModes, r.padTaus, phi)
 }
 
 // degenerate handles the all-zero-weight utility: every package scores 0,

@@ -337,3 +337,82 @@ func TestHealthzReportsRestoreDrops(t *testing.T) {
 			hz.Sessions.RestoreDroppedItems, hz.Sessions.RestoreDroppedPrefs)
 	}
 }
+
+// TestMutationWaitParamValidation: an unparseable ?wait value is the
+// client's error and must be rejected before the batch commits, not
+// silently treated as async.
+func TestMutationWaitParamValidation(t *testing.T) {
+	cat, ts := liveServer(t)
+	v := func(x float64) *float64 { return &x }
+	resp := postJSON(t, ts.URL+"/catalog/items?wait=yes", UpsertRequest{Items: []ItemJSON{
+		{ID: 100, Values: []*float64{v(0.5), v(0.5)}},
+	}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST ?wait=yes = %d, want 400", resp.StatusCode)
+	}
+	if got := cat.Current().ID; got != 1 {
+		t.Fatalf("rejected ?wait committed the batch (epoch %d)", got)
+	}
+	if resp := doDelete(t, ts.URL+"/catalog/items/1?wait=maybe"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("DELETE ?wait=maybe = %d, want 400", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/catalog/items?wait=false", UpsertRequest{Items: []ItemJSON{
+		{ID: 100, Values: []*float64{v(0.5), v(0.5)}},
+	}}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST ?wait=false = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestCatalogGetStableSchema: GET /catalog emits the same key set for
+// static and live catalogues, so clients never branch on `mutable` to
+// know which fields exist.
+func TestCatalogGetStableSchema(t *testing.T) {
+	keySet := func(ts *httptest.Server) map[string]bool {
+		var got map[string]any
+		if resp := getJSON(t, ts.URL+"/catalog", &got); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /catalog = %d", resp.StatusCode)
+		}
+		keys := make(map[string]bool, len(got))
+		for k := range got {
+			keys[k] = true
+		}
+		return keys
+	}
+	_, live := liveServer(t)
+	_, static := testServer(t)
+	liveKeys, staticKeys := keySet(live), keySet(static)
+	for k := range liveKeys {
+		if !staticKeys[k] {
+			t.Errorf("key %q present on live /catalog but missing on static", k)
+		}
+	}
+	for k := range staticKeys {
+		if !liveKeys[k] {
+			t.Errorf("key %q present on static /catalog but missing on live", k)
+		}
+	}
+	for _, k := range []string{"epoch", "items", "mutable", "upserts", "delta_builds", "last_error", "pending"} {
+		if !staticKeys[k] {
+			t.Errorf("stable schema is missing key %q", k)
+		}
+	}
+}
+
+// TestHealthzSearchCacheCounters: the cache's retention accounting —
+// retained, reconcile_drops, invalidation_drops, revived — is visible to
+// operators through /healthz.
+func TestHealthzSearchCacheCounters(t *testing.T) {
+	_, ts := liveServer(t)
+	var hz struct {
+		SearchCache map[string]any `json:"search_cache"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	for _, k := range []string{"hits", "misses", "evictions", "retained", "reconcile_drops", "invalidation_drops", "revived"} {
+		if _, ok := hz.SearchCache[k]; !ok {
+			t.Errorf("healthz search_cache is missing counter %q", k)
+		}
+	}
+}

@@ -398,36 +398,70 @@ func (ij ItemJSON) item() feature.Item {
 // errStaticCatalog rejects mutations when no live catalogue is configured.
 var errStaticCatalog = errors.New("catalogue is static; restart with -mutable-catalog to enable item mutations")
 
+// CatalogStatus is the wire form of GET /catalog. One schema serves both
+// flavors: a static catalogue reports mutable=false with every counter at
+// its zero value, so clients never branch on which keys exist.
+type CatalogStatus struct {
+	Epoch          uint64 `json:"epoch"`
+	Items          int    `json:"items"`
+	Mutable        bool   `json:"mutable"`
+	Upserts        int64  `json:"upserts"`
+	Deletes        int64  `json:"deletes"`
+	Batches        int64  `json:"batches"`
+	Rebuilds       int64  `json:"rebuilds"`
+	DeltaBuilds    int64  `json:"delta_builds"`
+	FullRebuilds   int64  `json:"full_rebuilds"`
+	DeltaFallbacks int64  `json:"delta_fallbacks"`
+	BuildErrors    int64  `json:"build_errors"`
+	LastError      string `json:"last_error"`
+	Pending        bool   `json:"pending"`
+}
+
 func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {
 	if s.cat == nil {
 		epoch, items := s.mgr.Shared().EpochInfo()
-		writeJSON(w, map[string]any{"epoch": epoch, "items": items, "mutable": false})
+		writeJSON(w, CatalogStatus{Epoch: epoch, Items: items})
 		return
 	}
 	st := s.cat.Stats()
-	writeJSON(w, map[string]any{
-		"epoch":        st.Epoch,
-		"items":           st.Items,
-		"mutable":         true,
-		"upserts":         st.Upserts,
-		"deletes":         st.Deletes,
-		"batches":         st.Batches,
-		"rebuilds":        st.Rebuilds,
-		"delta_builds":    st.DeltaBuilds,
-		"full_rebuilds":   st.FullRebuilds,
-		"delta_fallbacks": st.DeltaFallbacks,
-		"build_errors":    st.BuildErrors,
-		"last_error":      st.LastError,
-		"pending":         st.Pending,
+	writeJSON(w, CatalogStatus{
+		Epoch:          st.Epoch,
+		Items:          st.Items,
+		Mutable:        true,
+		Upserts:        st.Upserts,
+		Deletes:        st.Deletes,
+		Batches:        st.Batches,
+		Rebuilds:       st.Rebuilds,
+		DeltaBuilds:    st.DeltaBuilds,
+		FullRebuilds:   st.FullRebuilds,
+		DeltaFallbacks: st.DeltaFallbacks,
+		BuildErrors:    st.BuildErrors,
+		LastError:      st.LastError,
+		Pending:        st.Pending,
 	})
 }
 
+// parseWait interprets the ?wait query parameter: absent or empty means
+// async (false); anything else must satisfy strconv.ParseBool. Unparseable
+// values (?wait=yes) are the client's error — previously they were
+// silently treated as false, turning an intended blocking call async.
+func parseWait(r *http.Request) (bool, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return false, nil
+	}
+	wait, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("invalid wait parameter %q (want a boolean)", raw)
+	}
+	return wait, nil
+}
+
 // finishMutation acknowledges a committed catalogue mutation: with
-// ?wait=1 (any truthy value) it blocks until the swapped-in epoch covers
-// the batch, so the reported stats (and every later request) reflect it.
-// ?wait=0/false stays async, like omitting the parameter.
-func (s *Server) finishMutation(w http.ResponseWriter, r *http.Request, extra map[string]any) {
-	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+// wait set it blocks until the swapped-in epoch covers the batch, so the
+// reported stats (and every later request) reflect it.
+func (s *Server) finishMutation(w http.ResponseWriter, wait bool, extra map[string]any) {
+	if wait {
 		s.cat.Flush()
 	}
 	st := s.cat.Stats()
@@ -443,6 +477,11 @@ func (s *Server) finishMutation(w http.ResponseWriter, r *http.Request, extra ma
 func (s *Server) handleCatalogUpsert(w http.ResponseWriter, r *http.Request) {
 	if s.cat == nil {
 		httpError(w, http.StatusConflict, errStaticCatalog)
+		return
+	}
+	wait, err := parseWait(r)
+	if err != nil { // reject before committing the batch
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	var req UpsertRequest
@@ -464,12 +503,17 @@ func (s *Server) handleCatalogUpsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.finishMutation(w, r, map[string]any{"upserted": len(items)})
+	s.finishMutation(w, wait, map[string]any{"upserted": len(items)})
 }
 
 func (s *Server) handleCatalogDelete(w http.ResponseWriter, r *http.Request) {
 	if s.cat == nil {
 		httpError(w, http.StatusConflict, errStaticCatalog)
+		return
+	}
+	wait, err := parseWait(r)
+	if err != nil { // reject before committing the delete
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
@@ -488,7 +532,7 @@ func (s *Server) handleCatalogDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("item %d not in catalogue", id))
 		return
 	}
-	s.finishMutation(w, r, map[string]any{"removed": removed})
+	s.finishMutation(w, wait, map[string]any{"removed": removed})
 }
 
 // badRequest marks an error as the client's fault (400).
