@@ -8,7 +8,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: test race bench fuzz-smoke lint
+.PHONY: test race bench bench-serve fuzz-smoke lint
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -45,6 +45,24 @@ bench:
 	   $(GO) test -run '^$$' -bench 'EpochBuild' -benchmem -benchtime 50x . ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_recommend.json
 	@echo wrote BENCH_recommend.json
+
+# bench-serve regenerates BENCH_serve.json, the committed whole-system
+# serving benchmark: cmd/loadgen drives the in-process serving stack with
+# zipfian traffic over a 100k-session population, once against a static
+# catalogue and once under background mutation churn, and benchjson -serve
+# folds both run records into per-route latency quantiles plus
+# static-vs-mutating comparisons. loadgen exits non-zero on any transport
+# error or non-2xx response, and pipefail propagates that through the
+# pipe. Catalogue/engine parameters are sized for the single-core bench
+# container; latency numbers are only comparable across runs of the same
+# parameter set.
+LOADGEN_FLAGS := -sessions 100000 -items 1000 -samples 30 -k 3 -concurrency 4 -duration 30s
+
+bench-serve:
+	@{ $(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) ; \
+	   $(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -churn 50ms ; } \
+	  | $(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
+	@echo wrote BENCH_serve.json
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime 10s ./internal/core

@@ -5,9 +5,17 @@
 // expose nocache/cached variants. Future PRs are judged against these
 // numbers, so the file is the PR's performance evidence.
 //
+// With -serve, stdin instead holds loadgen JSON run records (one per
+// run, concatenated), and the output is BENCH_serve.json: the raw run
+// records plus static-vs-mutating comparisons of per-route latency
+// quantiles and throughput. Runs already in the -out file are kept, and
+// a new run with the same name replaces the old one — so the static and
+// mutating halves can be generated in separate invocations.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'Fig6TopKPkg|Fig8' -benchmem . | benchjson -out BENCH_recommend.json
+//	loadgen -duration 30s | benchjson -serve -out BENCH_serve.json
 package main
 
 import (
@@ -15,13 +23,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"toppkg/internal/loadgen"
 )
 
 // Benchmark is one parsed result line.
@@ -152,9 +164,157 @@ func compare(benches []Benchmark) []Comparison {
 	return out
 }
 
+// ServeComparison pairs one route's static-run latency with its
+// mutating-run counterpart. P99Ratio is mutating p99 over static p99 —
+// how much tail latency the route pays for background catalogue churn.
+type ServeComparison struct {
+	Route         string  `json:"route"`
+	StaticP50Ms   float64 `json:"static_p50_ms"`
+	MutatingP50Ms float64 `json:"mutating_p50_ms"`
+	StaticP99Ms   float64 `json:"static_p99_ms"`
+	MutatingP99Ms float64 `json:"mutating_p99_ms"`
+	P99Ratio      float64 `json:"p99_ratio,omitempty"`
+}
+
+// ServeReport is the BENCH_serve.json layout: the loadgen run records
+// verbatim, plus derived static-vs-mutating comparisons.
+type ServeReport struct {
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	CPUs      int              `json:"cpus"`
+	Runs      []loadgen.Report `json:"runs"`
+	// ThroughputRetained is mutating RPS over static RPS — the serving-path
+	// analogue of the ChurnRecommend speedup in BENCH_recommend.json.
+	ThroughputRetained float64           `json:"throughput_retained,omitempty"`
+	Comparisons        []ServeComparison `json:"comparisons,omitempty"`
+}
+
+// upsertRun replaces the run with the same name or appends.
+func upsertRun(runs []loadgen.Report, r loadgen.Report) []loadgen.Report {
+	for i := range runs {
+		if runs[i].Name == r.Name {
+			runs[i] = r
+			return runs
+		}
+	}
+	return append(runs, r)
+}
+
+// compareServe derives route-by-route comparisons from the runs named
+// "static" and "mutating" (loadgen's default labels). The healthz route
+// is the harness pre-flight, not serving traffic, so it is skipped.
+func compareServe(runs []loadgen.Report) ([]ServeComparison, float64) {
+	var static, mutating *loadgen.Report
+	for i := range runs {
+		switch runs[i].Name {
+		case "static":
+			static = &runs[i]
+		case "mutating":
+			mutating = &runs[i]
+		}
+	}
+	if static == nil || mutating == nil {
+		return nil, 0
+	}
+	var routes []string
+	for name, rr := range static.Routes {
+		if name != "healthz" && rr.Count > 0 && mutating.Routes[name].Count > 0 {
+			routes = append(routes, name)
+		}
+	}
+	sort.Strings(routes)
+	out := make([]ServeComparison, 0, len(routes))
+	for _, name := range routes {
+		s, m := static.Routes[name], mutating.Routes[name]
+		c := ServeComparison{
+			Route:         name,
+			StaticP50Ms:   s.Latency.P50Ms,
+			MutatingP50Ms: m.Latency.P50Ms,
+			StaticP99Ms:   s.Latency.P99Ms,
+			MutatingP99Ms: m.Latency.P99Ms,
+		}
+		if s.Latency.P99Ms > 0 {
+			c.P99Ratio = m.Latency.P99Ms / s.Latency.P99Ms
+		}
+		out = append(out, c)
+	}
+	retained := 0.0
+	if static.ThroughputRPS > 0 {
+		retained = mutating.ThroughputRPS / static.ThroughputRPS
+	}
+	return out, retained
+}
+
+// serveMode folds loadgen run records from stdin into a ServeReport,
+// keeping runs already present in the out file.
+func serveMode(outPath string) {
+	var runs []loadgen.Report
+	if outPath != "" {
+		if data, err := os.ReadFile(outPath); err == nil {
+			var prev ServeReport
+			if err := json.Unmarshal(data, &prev); err != nil {
+				log.Fatalf("benchjson -serve: existing %s is not a serve report: %v", outPath, err)
+			}
+			runs = prev.Runs
+		}
+	}
+	dec := json.NewDecoder(os.Stdin)
+	n := 0
+	for {
+		var r loadgen.Report
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			log.Fatalf("benchjson -serve: decoding run record %d: %v", n+1, err)
+		}
+		if r.Name == "" {
+			log.Fatalf("benchjson -serve: run record %d has no name", n+1)
+		}
+		runs = upsertRun(runs, r)
+		n++
+	}
+	if n == 0 {
+		log.Fatal("benchjson -serve: no loadgen run records on stdin")
+	}
+	rep := ServeReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Runs:      runs,
+	}
+	rep.Comparisons, rep.ThroughputRetained = compareServe(runs)
+	writeOut(outPath, rep)
+	for _, c := range rep.Comparisons {
+		fmt.Fprintf(os.Stderr, "%s: p99 %.3gms -> %.3gms under churn (%.2fx)\n",
+			c.Route, c.StaticP99Ms, c.MutatingP99Ms, c.P99Ratio)
+	}
+	if rep.ThroughputRetained > 0 {
+		fmt.Fprintf(os.Stderr, "throughput retained under churn: %.2f\n", rep.ThroughputRetained)
+	}
+}
+
+// writeOut marshals v to the out file, or stdout when out is empty.
+func writeOut(out string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	serve := flag.Bool("serve", false, "stdin holds loadgen JSON run records instead of go test -bench output")
 	flag.Parse()
+	if *serve {
+		serveMode(*out)
+		return
+	}
 
 	var lines []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -176,18 +336,7 @@ func main() {
 		Benchmarks:  benches,
 		Comparisons: compare(benches),
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-	} else {
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-	}
+	writeOut(*out, report)
 	for _, c := range report.Comparisons {
 		fmt.Fprintf(os.Stderr, "%s: %.3gms -> %.3gms (%.2fx)\n",
 			c.Name, c.BaselineNsPerOp/1e6, c.AfterNsPerOp/1e6, c.Speedup)

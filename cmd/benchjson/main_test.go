@@ -3,6 +3,9 @@ package main
 import (
 	"math"
 	"testing"
+
+	"toppkg/internal/hdrhist"
+	"toppkg/internal/loadgen"
 )
 
 var sample = []string{
@@ -70,6 +73,67 @@ func TestCompare(t *testing.T) {
 	}
 	if math.Abs(epoch.Speedup-10) > 1e-9 {
 		t.Errorf("epoch build speedup = %g, want 10", epoch.Speedup)
+	}
+}
+
+// serveRun builds a minimal loadgen run record for comparison tests.
+func serveRun(name string, rps float64, routes map[string][2]float64) loadgen.Report {
+	r := loadgen.Report{Name: name, ThroughputRPS: rps, Routes: map[string]loadgen.RouteReport{}}
+	for route, pcts := range routes {
+		r.Routes[route] = loadgen.RouteReport{
+			Count:   100,
+			Latency: hdrhist.Snapshot{Count: 100, P50Ms: pcts[0], P99Ms: pcts[1]},
+		}
+	}
+	return r
+}
+
+func TestCompareServe(t *testing.T) {
+	runs := []loadgen.Report{
+		serveRun("static", 100, map[string][2]float64{
+			"recommend": {10, 40},
+			"click":     {1, 4},
+			"healthz":   {0.1, 0.2}, // harness pre-flight: must not be compared
+		}),
+		serveRun("mutating", 80, map[string][2]float64{
+			"recommend": {12, 60},
+			"click":     {1, 5},
+			"healthz":   {0.1, 0.2},
+			"feedback":  {2, 8}, // only in one run: must not be compared
+		}),
+	}
+	cs, retained := compareServe(runs)
+	if math.Abs(retained-0.8) > 1e-9 {
+		t.Errorf("throughput retained = %g, want 0.8", retained)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d comparisons, want 2 (click, recommend): %+v", len(cs), cs)
+	}
+	if cs[0].Route != "click" || cs[1].Route != "recommend" {
+		t.Errorf("routes not sorted: %+v", cs)
+	}
+	rec := cs[1]
+	if rec.StaticP99Ms != 40 || rec.MutatingP99Ms != 60 || math.Abs(rec.P99Ratio-1.5) > 1e-9 {
+		t.Errorf("recommend comparison: %+v", rec)
+	}
+}
+
+func TestCompareServeNeedsBothVariants(t *testing.T) {
+	cs, retained := compareServe([]loadgen.Report{serveRun("static", 100, nil)})
+	if cs != nil || retained != 0 {
+		t.Errorf("comparison from static alone: %+v, %g", cs, retained)
+	}
+}
+
+func TestUpsertRun(t *testing.T) {
+	runs := upsertRun(nil, serveRun("static", 100, nil))
+	runs = upsertRun(runs, serveRun("mutating", 80, nil))
+	runs = upsertRun(runs, serveRun("static", 120, nil))
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2: %+v", len(runs), runs)
+	}
+	if runs[0].Name != "static" || runs[0].ThroughputRPS != 120 {
+		t.Errorf("same-name run not replaced: %+v", runs[0])
 	}
 }
 

@@ -1,0 +1,249 @@
+// Command loadgen drives a serve-compatible endpoint with realistic
+// whole-system traffic: a zipfian population of sessions running
+// episodic recommend/click/feedback loops (the elicitation shape of
+// §5.6), optionally with background catalogue churn, and reports
+// per-route latency quantiles, error counts, and throughput as JSON —
+// the records cmd/benchjson folds into BENCH_serve.json.
+//
+// Two modes:
+//
+//	loadgen -target http://host:8080 -duration 30s    # external server
+//	loadgen -duration 30s -churn 50ms                 # self-contained:
+//	    spins the full serving stack in-process on a loopback listener,
+//	    so committed benchmark numbers are reproducible from one command.
+//
+// The JSON report goes to stdout (pipe it into benchjson -serve); a
+// human summary goes to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"toppkg/internal/catalog"
+	"toppkg/internal/core"
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/loadgen"
+	"toppkg/internal/ranking"
+	"toppkg/internal/search"
+	"toppkg/internal/server"
+	"toppkg/internal/session"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL of the server under test (empty: serve in-process)")
+		name        = flag.String("name", "", "label for the run record (default: static or mutating)")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		sessions    = flag.Int("sessions", 100000, "simulated session population")
+		zipfS       = flag.Float64("zipf-s", 1.07, "zipf skew of session popularity (> 1)")
+		concurrency = flag.Int("concurrency", 16, "closed-loop workers")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
+		mix         = flag.String("mix", "6:3:1", "recommend:click:feedback weights")
+		seed        = flag.Int64("seed", 1, "traffic seed (session decisions derive from session IDs)")
+		churn       = flag.Duration("churn", 0, "catalogue mutation batch interval (0: static catalogue)")
+		churnBatch  = flag.Int("churn-batch", 8, "items repriced per churn batch")
+		churnItems  = flag.Int("churn-items", 1000, "stable-ID range repriced by churn")
+
+		// Self-serve mode (when -target is empty).
+		kind     = flag.String("dataset", "uni", "in-process dataset: uni, pwr, cor, ant, nba")
+		items    = flag.Int("items", 5000, "in-process item count")
+		features = flag.Int("features", 5, "feature count (also the churn value count against external targets)")
+		phi      = flag.Int("phi", 3, "in-process maximum package size")
+		k        = flag.Int("k", 5, "in-process recommended packages per slate")
+		samples  = flag.Int("samples", 100, "in-process weight-vector samples")
+		sem      = flag.String("semantics", "exp", "in-process ranking semantics")
+		psi      = flag.Float64("psi", 0.9, "in-process feedback-noise tolerance (§7); 1 = noise-free")
+		quantum  = flag.Float64("quantum", 0.05, "in-process weight quantization step (shares the result cache across sessions; 0 = exact)")
+		cache    = flag.Int("cache", ranking.DefaultCacheSize, "in-process shared result cache entries (negative disables)")
+	)
+	flag.Parse()
+
+	var mr, mc, mf int
+	if _, err := fmt.Sscanf(*mix, "%d:%d:%d", &mr, &mc, &mf); err != nil {
+		log.Fatalf("-mix must be R:C:F, got %q", *mix)
+	}
+
+	base := *target
+	var shutdown func()
+	if base == "" {
+		var err error
+		base, shutdown, err = selfServe(selfOpts{
+			kind: *kind, items: *items, features: *features, phi: *phi, k: *k,
+			samples: *samples, sem: *sem, psi: *psi, quantum: *quantum, cache: *cache,
+			seed: *seed, sessions: *sessions, mutable: *churn > 0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+	}
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:      base,
+		Sessions:     *sessions,
+		ZipfS:        *zipfS,
+		Concurrency:  *concurrency,
+		Rate:         *rate,
+		Duration:     *duration,
+		MixRecommend: mr,
+		MixClick:     mc,
+		MixFeedback:  mf,
+		Churn:        *churn,
+		ChurnBatch:   *churnBatch,
+		ChurnItems:   *churnItems,
+		Features:     *features,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Name = *name
+	if rep.Name == "" {
+		rep.Name = "static"
+		if *churn > 0 {
+			rep.Name = "mutating"
+		}
+	}
+
+	summarize(rep)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Errors > 0 || rep.Non2xx > 0 {
+		os.Exit(1)
+	}
+}
+
+// selfOpts sizes the in-process serving stack.
+type selfOpts struct {
+	kind                                    string
+	items, features, phi, k, samples, cache int
+	sem                                     string
+	psi, quantum                            float64
+	seed                                    int64
+	sessions                                int
+	mutable                                 bool
+}
+
+// selfServe stands the full serving stack up on a loopback listener:
+// catalogue (mutable when churn is on), shared core, session manager,
+// HTTP API with the default connection timeouts.
+func selfServe(o selfOpts) (string, func(), error) {
+	rng := rand.New(rand.NewSource(o.seed))
+	data, err := dataset.Generate(o.kind, o.items, o.features, rng)
+	if err != nil {
+		return "", nil, err
+	}
+	semantics, err := ranking.ParseSemantics(o.sem)
+	if err != nil {
+		return "", nil, err
+	}
+	cycle := []feature.Agg{feature.AggSum, feature.AggAvg, feature.AggMax, feature.AggMin}
+	aggs := make([]feature.Agg, o.features)
+	for i := range aggs {
+		aggs[i] = cycle[i%len(cycle)]
+	}
+	cacheSize := o.cache
+	if cacheSize == 0 {
+		cacheSize = 1 // core treats 0 as "default"; honor an explicit -cache 0
+	}
+	cfg := core.Config{
+		Items:           data,
+		Profile:         feature.SimpleProfile(aggs...),
+		MaxPackageSize:  o.phi,
+		K:               o.k,
+		Semantics:       semantics,
+		SampleCount:     o.samples,
+		Psi:             o.psi,
+		WeightQuantum:   o.quantum,
+		SearchCacheSize: cacheSize,
+		Seed:            o.seed,
+		Search:          search.Options{MaxQueue: 128, MaxAccessed: 500},
+	}
+	var (
+		shared *core.Shared
+		cat    *catalog.Catalog
+	)
+	if o.mutable {
+		cat, err = catalog.New(catalog.Config{
+			Profile:        cfg.Profile,
+			MaxPackageSize: o.phi,
+			Items:          data,
+			Coalesce:       catalog.DefaultCoalesce,
+			DeltaThreshold: catalog.DefaultDeltaThreshold,
+		})
+		if err != nil {
+			return "", nil, err
+		}
+		shared, err = core.NewLiveShared(cfg, cat)
+	} else {
+		shared, err = core.NewShared(cfg)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	// Capacity above the population: a mid-run eviction resets a session's
+	// pinned feedback epoch, which under churn can fail stale clicks —
+	// benchmark runs measure serving latency, not eviction policy.
+	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: o.sessions + 1})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := server.NewHTTPServer(ln.Addr().String(), server.New(mgr, server.Options{Catalog: cat}), server.Timeouts{})
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("self-serve listener: %v", err)
+		}
+	}()
+	mode := "static"
+	if o.mutable {
+		mode = "mutable"
+	}
+	fmt.Fprintf(os.Stderr, "self-serving %s (%d items, %d features, %s catalogue) on %s\n",
+		o.kind, len(data), o.features, mode, ln.Addr())
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if cat != nil {
+			cat.Close()
+		}
+		mgr.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func summarize(rep *loadgen.Report) {
+	fmt.Fprintf(os.Stderr, "%s: %d req in %.1fs (%.0f req/s), %d errors, %d non-2xx, %d shed\n",
+		rep.Name, rep.Total, rep.DurationSec, rep.ThroughputRPS, rep.Errors, rep.Non2xx, rep.Shed)
+	names := make([]string, 0, len(rep.Routes))
+	for n := range rep.Routes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rr := rep.Routes[n]
+		if rr.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-16s %7d req  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  max %7.2fms\n",
+			n, rr.Count, rr.Latency.P50Ms, rr.Latency.P95Ms, rr.Latency.P99Ms, rr.Latency.MaxMs)
+	}
+}

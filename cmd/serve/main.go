@@ -55,6 +55,7 @@ func main() {
 		k        = flag.Int("k", 5, "recommended packages per slate")
 		samples  = flag.Int("samples", 500, "weight-vector samples")
 		sem      = flag.String("semantics", "exp", "ranking semantics: exp, tkp, mpo")
+		psi      = flag.Float64("psi", 1, "feedback-noise tolerance (§7): a weight sample violating x preferences survives w.p. (1-psi)^x; 1 = hard constraints")
 		capacity = flag.Int("capacity", session.DefaultCapacity, "resident sessions before LRU eviction")
 		snapdir  = flag.String("snapshots", "", "directory persisting evicted sessions (empty: evicted state is dropped)")
 		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
@@ -68,6 +69,10 @@ func main() {
 		coalesce = flag.Duration("rebuild-coalesce", catalog.DefaultCoalesce, "how long the rebuilder waits for a mutation burst to settle before building the next epoch (negative: rebuild synchronously on every batch)")
 		deltaThr = flag.Int("delta-threshold", catalog.DefaultDeltaThreshold, "max distinct items changed since the current epoch for the next build to take the incremental delta path (negative disables delta builds)")
 		pprof    = flag.String("pprof", "", "mount net/http/pprof on this separate listen address (e.g. localhost:6060); empty disables")
+		readTO   = flag.Duration("read-timeout", server.DefaultReadTimeout, "max duration for reading an entire request incl. body (negative disables)")
+		writeTO  = flag.Duration("write-timeout", server.DefaultWriteTimeout, "max duration for writing a response (negative disables)")
+		idleTO   = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "how long a keep-alive connection may sit idle (negative disables)")
+		headerTO = flag.Duration("read-header-timeout", server.DefaultReadHeaderTimeout, "max duration for reading request headers (negative disables)")
 	)
 	flag.Parse()
 
@@ -84,6 +89,11 @@ func main() {
 	}
 	if *samples <= 0 {
 		log.Fatalf("-samples must be positive, got %d", *samples)
+	}
+	if *psi <= 0 || *psi > 1 {
+		// core maps Psi 0 to the noise-free default; an explicit 0 here is
+		// almost certainly a misunderstanding of the knob, so reject it.
+		log.Fatalf("-psi must be in (0, 1], got %g", *psi)
 	}
 	if *items <= 0 && *kind != "nba" && *kind != "NBA" {
 		// The NBA synthesizer has a fixed cardinality and ignores -items.
@@ -117,6 +127,7 @@ func main() {
 		K:               *k,
 		Semantics:       semantics,
 		SampleCount:     *samples,
+		Psi:             *psi,
 		Seed:            *seed,
 		Parallelism:     *par,
 		Search:          search.Options{MaxQueue: 128, MaxAccessed: 500},
@@ -184,13 +195,19 @@ func main() {
 			log.Printf("restored default session from %s", *restore)
 		}
 	}
+	// Connection timeouts apply to every listener: one stalled client must
+	// never hold a connection (and a session lock window) indefinitely.
+	timeouts := server.Timeouts{ReadHeader: *headerTO, Read: *readTO, Write: *writeTO, Idle: *idleTO}
 	if *pprof != "" {
 		// A separate listener keeps the profiling surface off the serving
 		// port (and off any load balancer): the blank net/http/pprof import
-		// registers its handlers on http.DefaultServeMux.
+		// registers its handlers on http.DefaultServeMux. It gets the same
+		// timeouts as the serving listener; raise -write-timeout when
+		// collecting profiles longer than it.
 		go func() {
 			log.Printf("pprof listening on %s/debug/pprof/", *pprof)
-			if err := http.ListenAndServe(*pprof, nil); err != nil && err != http.ErrServerClosed {
+			psrv := server.NewHTTPServer(*pprof, nil, timeouts)
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("pprof listener: %v", err)
 			}
 		}()
@@ -201,9 +218,11 @@ func main() {
 	}
 	fmt.Printf("serving %s (%d items, %d features, %s) on %s, capacity %d sessions\n",
 		*kind, len(data), *features, mode, *addr, *capacity)
-	srv := &http.Server{Addr: *addr, Handler: server.New(mgr, server.Options{MaxBodyBytes: *maxBody, Catalog: cat})}
-	// Graceful shutdown: flush resident sessions to the snapshot store, so
-	// learned state survives restarts, not just LRU pressure.
+	srv := server.NewHTTPServer(*addr, server.New(mgr, server.Options{MaxBodyBytes: *maxBody, Catalog: cat}), timeouts)
+	// Graceful shutdown: drain HTTP, quiesce the catalogue (every batch
+	// acknowledged with 202/200 reaches a built epoch and the rebuilder
+	// goroutine exits), then flush resident sessions to the snapshot store,
+	// so learned state survives restarts, not just LRU pressure.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
@@ -214,6 +233,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
+		if cat != nil {
+			cat.Close()
+		}
 		mgr.Shutdown()
 		mgr.Close()
 	}()

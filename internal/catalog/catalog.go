@@ -26,6 +26,7 @@ package catalog
 import (
 	"cmp"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -197,7 +198,9 @@ type Catalog struct {
 	version  uint64 // bumped per committed batch
 	built    uint64 // version the current epoch covers
 	building bool   // a rebuild goroutine is scheduled or running
+	closed   bool   // Close ran: mutations are rejected, rebuilder quiesced
 	caughtUp *sync.Cond
+	closeCh  chan struct{} // closed by Close; wakes the rebuilder's sleep
 	subs     []func(*Epoch, *ChangeSet)
 
 	// pending maps each stable ID changed since the installed epoch to the
@@ -245,6 +248,7 @@ func New(cfg Config) (*Catalog, error) {
 		deltaMax: cfg.DeltaThreshold,
 		items:    make(map[int]feature.Item, len(cfg.Items)),
 		pending:  make(map[int]uint64),
+		closeCh:  make(chan struct{}),
 	}
 	c.caughtUp = sync.NewCond(&c.mu)
 	for i := range cfg.Items {
@@ -343,6 +347,10 @@ func (c *Catalog) validateItem(it feature.Item) error {
 	return nil
 }
 
+// ErrClosed rejects mutations committed after Close: the rebuilder has
+// quiesced, so an accepted batch would never reach an epoch.
+var ErrClosed = errors.New("catalog: closed")
+
 // Upsert inserts or replaces the given items as one atomic batch. The
 // whole batch is validated first; on error nothing is committed. Returns
 // once the batch is committed (and, in synchronous mode, swapped in).
@@ -356,6 +364,10 @@ func (c *Catalog) Upsert(items []feature.Item) error {
 		}
 	}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
 	changed := make([]int, len(items))
 	for i := range items {
 		c.items[items[i].ID] = copyItem(items[i])
@@ -374,6 +386,10 @@ func (c *Catalog) Delete(ids []int) (removed int, err error) {
 		return 0, fmt.Errorf("catalog: empty delete batch")
 	}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
 	// Count distinct existing IDs: a batch may repeat an ID, which must
 	// neither inflate the removal count past the item count (emptying the
 	// catalogue through the guard) nor falsely trip the guard.
@@ -429,15 +445,49 @@ func (c *Catalog) commitLocked(changed []int) {
 // catalogue holds no long-lived goroutines while quiescent.
 func (c *Catalog) rebuildLoop() {
 	for {
-		time.Sleep(c.coalesce)
+		// A closing catalogue interrupts the coalescing sleep: shutdown
+		// must not stall for a generous -rebuild-coalesce window.
+		select {
+		case <-time.After(c.coalesce):
+		case <-c.closeCh:
+		}
 		c.mu.Lock()
 		if c.built == c.version {
 			c.building = false
+			// Close waits for building to drop, not only for built to catch
+			// up, so it cannot return while this goroutine is still alive.
+			c.caughtUp.Broadcast()
 			c.mu.Unlock()
 			return
 		}
 		c.rebuildLocked() // unlocks c.mu
 	}
+}
+
+// Close quiesces the catalogue for process shutdown: it drives any
+// committed-but-unbuilt batches into a final epoch synchronously (so a
+// mutation already acknowledged with 202 is never lost un-built), waits
+// out the background rebuilder goroutine, and rejects all later
+// mutations with ErrClosed. Idempotent and safe to call concurrently;
+// readers may keep serving from the final epoch afterwards.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.closeCh) // wakes the rebuilder out of its coalescing sleep
+	}
+	// Build leftover batches on this goroutine rather than waiting for the
+	// (possibly sleeping) rebuilder. rebuildLocked tolerates racing
+	// builders: whichever covers the target version first wins, the other
+	// build is discarded.
+	for c.built < c.version {
+		c.rebuildLocked() // unlocks c.mu
+		c.mu.Lock()
+	}
+	for c.building {
+		c.caughtUp.Wait()
+	}
+	c.mu.Unlock()
 }
 
 // rebuildLocked snapshots the item set (or, for delta-eligible change

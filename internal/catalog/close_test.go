@@ -1,0 +1,123 @@
+// Regression tests for Close: a mutation acknowledged just before
+// shutdown must reach an epoch (the graceful-shutdown path previously
+// abandoned the rebuilder, losing 202-acknowledged batches), Close must
+// be idempotent, and post-Close mutations must be rejected.
+package catalog
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+)
+
+func closeTestCatalog(t *testing.T, coalesce time.Duration) *Catalog {
+	t.Helper()
+	c, err := New(Config{
+		Profile:        feature.SimpleProfile(feature.AggSum, feature.AggAvg),
+		MaxPackageSize: 3,
+		Items:          dataset.UNI(40, 2, rand.New(rand.NewSource(7))),
+		Coalesce:       coalesce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCloseBuildsPendingBatch is the SIGTERM shape: commit a mutation,
+// immediately Close, and require the final epoch to cover it.
+func TestCloseBuildsPendingBatch(t *testing.T) {
+	// A long coalescing window guarantees the background rebuilder has not
+	// built yet when Close runs — Close must not wait it out either.
+	c := closeTestCatalog(t, 10*time.Second)
+	if err := c.Upsert([]feature.Item{{ID: 500, Name: "late", Values: []float64{0.4, 0.6}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Current().DenseID(500); ok {
+		t.Fatal("test setup: batch built before Close despite 10s coalesce")
+	}
+	start := time.Now()
+	c.Close()
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("Close stalled %v; must not wait out the coalescing window", waited)
+	}
+	ep := c.Current()
+	if d, ok := ep.DenseID(500); !ok || ep.Items()[d].Name != "late" {
+		t.Fatal("mutation acknowledged before Close died un-built")
+	}
+	if st := c.Stats(); st.Pending {
+		t.Fatalf("closed catalogue still pending: %+v", st)
+	}
+}
+
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	c := closeTestCatalog(t, 20*time.Millisecond)
+	if err := c.Upsert([]feature.Item{{ID: 501, Values: []float64{0.2, 0.8}}}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+	}
+	wg.Wait()
+	c.Close() // and again, after everything settled
+	if _, ok := c.Current().DenseID(501); !ok {
+		t.Fatal("pending batch lost across concurrent Close calls")
+	}
+}
+
+func TestMutationsAfterCloseRejected(t *testing.T) {
+	c := closeTestCatalog(t, -1)
+	c.Close()
+	err := c.Upsert([]feature.Item{{ID: 502, Values: []float64{0.1, 0.1}}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Upsert error = %v, want ErrClosed", err)
+	}
+	if _, err := c.Delete([]int{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Delete error = %v, want ErrClosed", err)
+	}
+	// Reads keep working: the final epoch stays served.
+	if c.Current() == nil || c.Len() != 40 {
+		t.Fatal("closed catalogue stopped serving reads")
+	}
+	if err := c.Upsert(nil); err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("empty batch after close = %v, want the empty-batch error", err)
+	}
+}
+
+// TestCloseRacesBackgroundRebuild: mutations land right as Close runs;
+// whatever was committed before Close returned must be built, and the
+// rebuilder goroutine must be quiesced (building == false).
+func TestCloseRacesBackgroundRebuild(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		c := closeTestCatalog(t, time.Millisecond)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				_ = c.Upsert([]feature.Item{{ID: 600 + i, Values: []float64{0.5, 0.5}}})
+			}
+		}()
+		time.Sleep(time.Duration(trial%3) * time.Millisecond)
+		c.Close()
+		wg.Wait()
+		c.mu.Lock()
+		if c.building {
+			t.Fatal("rebuilder still marked building after Close")
+		}
+		if c.built != c.version {
+			t.Fatalf("closed catalogue left version %d built only to %d", c.version, c.built)
+		}
+		c.mu.Unlock()
+	}
+}

@@ -380,8 +380,8 @@ func fuzzByteValue(b byte) float64 {
 // 2 delete, 3 upsert rewriting the current values (a no-op batch). The
 // committed corpus covers extreme-deletion and cutoff-crossing cases.
 func FuzzDeltaEpoch(f *testing.F) {
-	f.Add([]byte("\x05\x02\x01\x00\x00"))                 // delete the max holder on the max dimension
-	f.Add([]byte("\x05\x00\x14\xfc\x10\x01\x15\xf8\x08")) // two upserts crossing the sum top-φ cutoff
+	f.Add([]byte("\x05\x02\x01\x00\x00"))                                 // delete the max holder on the max dimension
+	f.Add([]byte("\x05\x00\x14\xfc\x10\x01\x15\xf8\x08"))                 // two upserts crossing the sum top-φ cutoff
 	f.Add([]byte("\x05\x02\x00\x00\x00\x00\x00\x50\x30\x03\x00\x00\x00")) // delete, reinsert, no-op reprice
 	f.Add([]byte("\x02\x00\x09\xff\xff\x01\x09\x08\xff"))                 // null-heavy rows (orphan churn)
 	p, err := feature.NewProfile(2,

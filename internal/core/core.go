@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"toppkg/internal/catalog"
@@ -136,6 +137,12 @@ type Stats struct {
 	// engine. The stale samples are kept; configure Psi < 1 to tolerate
 	// noise instead (§7).
 	ReplacementFailures int
+	// InitialSampleFallbacks counts pool draws that exhausted the sampler's
+	// attempt budget — the accumulated feedback admits (almost) no valid
+	// weight vector, e.g. after catalogue churn re-vectorized old
+	// preferences into contradiction — and were completed with
+	// constraint-free prior draws instead of failing the recommend.
+	InitialSampleFallbacks int
 	// MaintenanceWork accumulates the checker's sample examinations.
 	MaintenanceWork int
 	// SampleAttempts accumulates raw sampler draws.
@@ -619,13 +626,48 @@ func (e *Engine) ensureSamples() error {
 		return err
 	}
 	res, err := s.Sample(e.rng, e.cfg.SampleCount)
-	if err != nil {
-		return fmt.Errorf("core: initial sampling: %w", err)
-	}
 	e.stats.SampleAttempts += res.Attempts
+	if err != nil {
+		if !errors.Is(err, sampling.ErrTooManyRejections) {
+			return fmt.Errorf("core: initial sampling: %w", err)
+		}
+		// The feedback set leaves (almost) no valid weight vectors — e.g.
+		// preferences re-vectorized across catalogue epochs now contradict
+		// each other, or a noisy user answered inconsistently. Mirror the
+		// maintenance path in applyConstraint: degrade rather than fail
+		// the interaction. Keep whatever the sampler did accept and top
+		// the pool up with prior draws — the §7 noise model's limit: under
+		// total inconsistency the posterior collapses to the prior.
+		e.stats.InitialSampleFallbacks++
+		res.Samples = e.fillFromPrior(res.Samples)
+	}
 	e.pool = maintain.NewPool(res.Samples)
 	e.pool.NewChecker = e.newChecker
 	return nil
+}
+
+// fillFromPrior tops samples up to SampleCount with constraint-free prior
+// draws (box-checked, clamped as a last resort so the fill always
+// terminates).
+func (e *Engine) fillFromPrior(samples []sampling.Sample) []sampling.Sample {
+	box := sampling.NewValidator(e.cfg.Profile.Dims(), nil)
+	w := make([]float64, e.cfg.Profile.Dims())
+	attempts := 0
+	for len(samples) < e.cfg.SampleCount {
+		e.cfg.Prior.SampleInto(e.rng, w)
+		e.stats.SampleAttempts++
+		attempts++
+		if !box.InBox(w) {
+			if attempts < 50*e.cfg.SampleCount {
+				continue
+			}
+			for i := range w {
+				w[i] = math.Max(-1, math.Min(1, w[i]))
+			}
+		}
+		samples = append(samples, sampling.Sample{W: append([]float64(nil), w...), Q: 1})
+	}
+	return samples
 }
 
 // Samples returns the current weight-vector pool, drawing it if needed.

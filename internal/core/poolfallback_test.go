@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"toppkg/internal/feature"
+	"toppkg/internal/pkgspace"
+)
+
+// Regression test: a feedback set admitting no valid weight vector used
+// to fail Recommend outright ("initial sampling: attempt budget
+// exhausted"), permanently bricking the session — catalogue churn can
+// re-vectorize old preferences into exactly this state. The engine must
+// degrade to prior draws instead, mirroring how feedback maintenance
+// already tolerates a vanished valid region (ReplacementFailures).
+func TestInfeasibleFeedbackFallsBackToPrior(t *testing.T) {
+	// One feature, single-item packages: {0}≻{1} forces w > 0 while
+	// {2}≻{3} forces w < 0 — jointly unsatisfiable, yet acyclic (the two
+	// preferences share no package), so the graph accepts both.
+	cfg := Config{
+		Items: []feature.Item{
+			{ID: 0, Name: "a", Values: []float64{0.9}},
+			{ID: 1, Name: "b", Values: []float64{0.1}},
+			{ID: 2, Name: "c", Values: []float64{0.2}},
+			{ID: 3, Name: "d", Values: []float64{0.8}},
+		},
+		Profile:        feature.SimpleProfile(feature.AggSum),
+		MaxPackageSize: 1,
+		K:              2,
+		SampleCount:    50,
+		Seed:           3,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Feedback(pkgspace.New(0), pkgspace.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Feedback(pkgspace.New(2), pkgspace.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	slate, err := e.Recommend()
+	if err != nil {
+		t.Fatalf("Recommend with infeasible feedback: %v", err)
+	}
+	if len(slate.Recommended) == 0 {
+		t.Fatal("fallback recommend produced an empty slate")
+	}
+	samples, err := e.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != cfg.SampleCount {
+		t.Fatalf("fallback pool holds %d samples, want %d", len(samples), cfg.SampleCount)
+	}
+	if got := e.Stats().InitialSampleFallbacks; got < 1 {
+		t.Fatalf("InitialSampleFallbacks = %d, want >= 1", got)
+	}
+	// The fallback is not the steady state: consistent-only feedback must
+	// still draw a constrained pool without tripping the counter.
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Feedback(pkgspace.New(0), pkgspace.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Recommend(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Stats().InitialSampleFallbacks; got != 0 {
+		t.Fatalf("consistent feedback tripped the fallback %d times", got)
+	}
+}

@@ -174,14 +174,14 @@ func TestNewSpaceFromDirectedCases(t *testing.T) {
 		removeIdx []int
 		added     [][]float64
 	}{
-		{"delete_max", []int{0}, nil},                               // removes sum-top member and the max on f1 (tie stays)
-		{"delete_at_cutoff", []int{2}, nil},                         // value 6 == top-3 cutoff on f0
-		{"delete_below_cutoff", []int{4}, nil},                      // 2 < cutoff: scale untouched
-		{"insert_past_cutoff", nil, [][]float64{{9, 2, 2}}},         // 9 enters the top-3 sum set
-		{"insert_below_cutoff", nil, [][]float64{{1, 2, 2}}},        // no scale change
-		{"insert_new_max", nil, [][]float64{{1, 50, 2}}},            // new extreme on f1
+		{"delete_max", []int{0}, nil},                        // removes sum-top member and the max on f1 (tie stays)
+		{"delete_at_cutoff", []int{2}, nil},                  // value 6 == top-3 cutoff on f0
+		{"delete_below_cutoff", []int{4}, nil},               // 2 < cutoff: scale untouched
+		{"insert_past_cutoff", nil, [][]float64{{9, 2, 2}}},  // 9 enters the top-3 sum set
+		{"insert_below_cutoff", nil, [][]float64{{1, 2, 2}}}, // no scale change
+		{"insert_new_max", nil, [][]float64{{1, 50, 2}}},     // new extreme on f1
 		{"replace_all_nulls", []int{0, 1, 3}, [][]float64{{Null, Null, Null}, {Null, Null, Null}}},
-		{"duplicate_of_cutoff", nil, [][]float64{{6, 7, 1}}},        // equals the cutoff value
+		{"duplicate_of_cutoff", nil, [][]float64{{6, 7, 1}}}, // equals the cutoff value
 		{"zero_everything", []int{0, 1, 2, 3}, [][]float64{{0, 0, 0}}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,764 @@
+// Package loadgen is the whole-system traffic harness: it drives a
+// serve-compatible HTTP endpoint with the traffic shape the paper's
+// deployment story implies (§1 — recommendations fetched at login,
+// clicks posted back as implicit feedback), not a micro-benchmark. A run
+// simulates a large population of sessions (100k+ by default) whose
+// request frequency follows a zipfian popularity curve, each session
+// issuing a recommend/click/feedback mix modeled on internal/simulate,
+// with every per-session decision drawn from a deterministic RNG seeded
+// by session.SeedFor — so two runs with the same config replay the same
+// logical traffic.
+//
+// The generator runs closed-loop (N workers, each back-to-back) or
+// open-loop (a fixed arrival rate, latency including server queueing) and
+// can mutate the catalogue in the background to measure serving under
+// churn. Per-route latency lands in hdrhist histograms; Run returns a
+// Report with p50/p95/p99, error counts, and sustained throughput —
+// the numbers committed to BENCH_serve.json by cmd/loadgen.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toppkg/internal/hdrhist"
+	"toppkg/internal/session"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests. Nil builds one with sane pooling for
+	// Concurrency workers and a 10s per-request timeout.
+	Client *http.Client
+	// Sessions is the simulated session-ID population (default 100000).
+	Sessions int
+	// ZipfS/ZipfV shape the session popularity curve (defaults 1.07/1;
+	// ZipfS must be > 1). Lower ZipfS spreads traffic more evenly.
+	ZipfS, ZipfV float64
+	// Concurrency is the closed-loop worker count (default 8); in
+	// open-loop mode it only sizes the connection pool.
+	Concurrency int
+	// Rate > 0 switches to open-loop: requests start on a fixed schedule
+	// of Rate ops/sec regardless of completions, so recorded latency
+	// includes server queueing. 0 runs closed-loop.
+	Rate float64
+	// MaxInFlight caps concurrent open-loop requests (default
+	// 4×Concurrency); arrivals past the cap are counted as shed, not sent.
+	MaxInFlight int
+	// Duration bounds the run (default 10s); the context can end it
+	// earlier.
+	Duration time.Duration
+	// MixRecommend/MixClick/MixFeedback weight the per-session op choice
+	// (defaults 6/3/1). A session's first op is always a recommend — there
+	// is nothing to click on before a slate arrives.
+	MixRecommend, MixClick, MixFeedback int
+	// Churn > 0 mutates the catalogue in the background: one upsert batch
+	// per interval (plus a rotating insert/delete every few batches),
+	// exercising epoch swaps under live traffic. Requires the server to
+	// run with a mutable catalogue.
+	Churn time.Duration
+	// ChurnBatch is the items per churn batch (default 8); ChurnItems the
+	// stable-ID range [0, ChurnItems) repriced (default 1000); Features
+	// the catalogue's per-item value count (required when Churn > 0).
+	ChurnBatch, ChurnItems, Features int
+	// Seed drives the zipf draws and the churn value stream (default 1).
+	// Per-session decision RNGs are seeded from the session ID itself.
+	Seed int64
+}
+
+func (cfg *Config) withDefaults() error {
+	if cfg.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.Sessions == 0 {
+		cfg.Sessions = 100000
+	}
+	if cfg.Sessions < 1 {
+		return fmt.Errorf("loadgen: Sessions must be positive, got %d", cfg.Sessions)
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.07
+	}
+	if cfg.ZipfS <= 1 {
+		return fmt.Errorf("loadgen: ZipfS must be > 1, got %g", cfg.ZipfS)
+	}
+	if cfg.ZipfV == 0 {
+		cfg.ZipfV = 1
+	}
+	if cfg.ZipfV < 1 {
+		return fmt.Errorf("loadgen: ZipfV must be >= 1, got %g", cfg.ZipfV)
+	}
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Concurrency < 1 {
+		return fmt.Errorf("loadgen: Concurrency must be positive, got %d", cfg.Concurrency)
+	}
+	if cfg.Rate < 0 {
+		return fmt.Errorf("loadgen: Rate must be non-negative, got %g", cfg.Rate)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 4 * cfg.Concurrency
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.MixRecommend == 0 && cfg.MixClick == 0 && cfg.MixFeedback == 0 {
+		cfg.MixRecommend, cfg.MixClick, cfg.MixFeedback = 6, 3, 1
+	}
+	if cfg.MixRecommend < 0 || cfg.MixClick < 0 || cfg.MixFeedback < 0 ||
+		cfg.MixRecommend+cfg.MixClick+cfg.MixFeedback == 0 {
+		return fmt.Errorf("loadgen: bad mix %d:%d:%d", cfg.MixRecommend, cfg.MixClick, cfg.MixFeedback)
+	}
+	if cfg.Churn > 0 {
+		if cfg.Features <= 0 {
+			return fmt.Errorf("loadgen: Features is required for catalogue churn")
+		}
+		if cfg.ChurnBatch == 0 {
+			cfg.ChurnBatch = 8
+		}
+		if cfg.ChurnItems == 0 {
+			cfg.ChurnItems = 1000
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Concurrency * 4,
+				MaxIdleConnsPerHost: cfg.Concurrency * 4,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		}
+	}
+	return nil
+}
+
+// routeStats is the client-side recorder for one logical route.
+type routeStats struct {
+	count  atomic.Int64
+	errors atomic.Int64 // transport failures: no HTTP status at all
+	non2xx atomic.Int64
+	hist   hdrhist.Histogram
+
+	sampleMu sync.Mutex
+	samples  []string // first few failure bodies, for the report
+}
+
+const maxErrorSamples = 5
+
+func (rs *routeStats) sampleFailure(msg string) {
+	rs.sampleMu.Lock()
+	if len(rs.samples) < maxErrorSamples {
+		rs.samples = append(rs.samples, msg)
+	}
+	rs.sampleMu.Unlock()
+}
+
+// RouteReport is one route's client-side view in the final Report.
+type RouteReport struct {
+	Count   int64            `json:"count"`
+	Errors  int64            `json:"errors"`
+	Non2xx  int64            `json:"non_2xx"`
+	Latency hdrhist.Snapshot `json:"latency"`
+	// FailureSamples holds the first few failure statuses/bodies seen on
+	// this route — enough to diagnose a red run from its report alone.
+	FailureSamples []string `json:"failure_samples,omitempty"`
+}
+
+// Report is the outcome of one load run — the record cmd/benchjson folds
+// into BENCH_serve.json.
+type Report struct {
+	// Name labels the run (e.g. "static", "mutating").
+	Name string `json:"name"`
+	// Mode is "closed" or "open".
+	Mode string `json:"mode"`
+	// Sessions/ZipfS echo the population shape; Concurrency or Rate the
+	// load shape.
+	Sessions    int     `json:"sessions"`
+	ZipfS       float64 `json:"zipf_s"`
+	Concurrency int     `json:"concurrency"`
+	Rate        float64 `json:"rate,omitempty"`
+	Seed        int64   `json:"seed"`
+
+	DurationSec   float64 `json:"duration_sec"`
+	Total         int64   `json:"total"`
+	Errors        int64   `json:"errors"`
+	Non2xx        int64   `json:"non_2xx"`
+	Shed          int64   `json:"shed,omitempty"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Routes maps the logical route names (recommend, click, feedback,
+	// sessions.delete, catalog.upsert, catalog.delete) to their
+	// client-side stats.
+	Routes map[string]RouteReport `json:"routes"`
+	// All aggregates every route into one distribution.
+	All RouteReport `json:"all"`
+	// ChurnBatches counts catalogue mutation batches sent (mutating runs).
+	ChurnBatches int64 `json:"churn_batches,omitempty"`
+}
+
+// runState is the shared state of one Run.
+type runState struct {
+	cfg    Config
+	ids    []string     // session index → session ID
+	states []*sessState // session index → per-session traffic state
+	routes map[string]*routeStats
+	shed   atomic.Int64
+	churnN atomic.Int64
+}
+
+// sessState is one simulated session's client-side memory: its decision
+// RNG (seeded from the session ID, so runs replay) and the last slate it
+// saw, which clicks and feedback react to. TryLock-guarded: two workers
+// never interleave requests for the same session, mirroring one real
+// user's sequential requests — and keeping click payloads consistent
+// with the engine's feedback epoch.
+//
+// Sessions are episodic, like the elicitation loops of internal/simulate
+// (§5.6): a session runs a bounded burst of ops, then logs out (DELETE
+// /sessions/{id}) and starts over fresh next time the zipf curve draws
+// it. Real elicitation converges in tens of rounds; without the bound, a
+// zipf-hot session accumulates unboundedly many preference constraints
+// and eventually drives the weight sampler infeasible — a traffic shape
+// no real deployment produces.
+type sessState struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rec     [][]int   // recommended packages from the last slate, canonical
+	scores  []float64 // their engine-reported scores, parallel to rec
+	all     [][]int   // recommended + random packages (the click's "shown")
+	opsLeft int       // ops remaining before this episode logs out
+	// prefs is the episode's preference memory: directed edges
+	// winner→losers over package signatures, a superset of what the
+	// server's graph recorded (the server silently skips cycle-creating
+	// click sub-edges; this memory records them all, which only makes the
+	// client more conservative). Feedback pairs that would close a cycle
+	// here are skipped client-side — scores drift as the pool learns, so
+	// a later slate can rank an old pair the other way round, and a
+	// consistent user does not contradict their own earlier answers.
+	prefs map[string][]string
+}
+
+// wire forms, mirrored from internal/server (kept local so loadgen can
+// drive any serve-compatible endpoint without importing the server).
+type slateJSON struct {
+	Recommended []struct {
+		Items []int   `json:"items"`
+		Score float64 `json:"score"`
+	} `json:"recommended"`
+	Random []struct {
+		Items []int `json:"items"`
+	} `json:"random"`
+}
+
+type clickJSON struct {
+	Chosen []int   `json:"chosen"`
+	Shown  [][]int `json:"shown"`
+}
+
+type feedbackJSON struct {
+	Winner []int `json:"winner"`
+	Loser  []int `json:"loser"`
+}
+
+type churnItemJSON struct {
+	ID     int       `json:"id"`
+	Name   string    `json:"name,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// Run executes one load run and returns its report. It returns an error
+// only for invalid configuration or a dead target (fails the pre-flight
+// health check); request-level failures are counted, not fatal.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	// Pre-flight: a dead target means a misconfigured run, not a latency
+	// distribution of connection errors.
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: target %s unreachable: %w", cfg.BaseURL, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: target %s health check = %d", cfg.BaseURL, resp.StatusCode)
+	}
+
+	st := &runState{
+		cfg:    cfg,
+		ids:    make([]string, cfg.Sessions),
+		states: make([]*sessState, cfg.Sessions),
+		routes: make(map[string]*routeStats),
+	}
+	for _, r := range []string{"recommend", "click", "feedback", "sessions.delete", "catalog.upsert", "catalog.delete"} {
+		st.routes[r] = &routeStats{}
+	}
+	for i := range st.ids {
+		st.ids[i] = fmt.Sprintf("s%06d", i)
+		st.states[i] = &sessState{}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	if cfg.Churn > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.churnLoop(ctx)
+		}()
+	}
+
+	start := time.Now()
+	if cfg.Rate > 0 {
+		st.openLoop(ctx)
+	} else {
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				st.closedLoop(ctx, worker)
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Name:        "run",
+		Mode:        "closed",
+		Sessions:    cfg.Sessions,
+		ZipfS:       cfg.ZipfS,
+		Concurrency: cfg.Concurrency,
+		Rate:        cfg.Rate,
+		Seed:        cfg.Seed,
+		DurationSec: elapsed.Seconds(),
+		Shed:        st.shed.Load(),
+		Routes:      make(map[string]RouteReport, len(st.routes)),
+	}
+	if cfg.Rate > 0 {
+		rep.Mode = "open"
+	}
+	var all hdrhist.Histogram
+	for name, rs := range st.routes {
+		all.Merge(&rs.hist)
+		rr := RouteReport{
+			Count:          rs.count.Load(),
+			Errors:         rs.errors.Load(),
+			Non2xx:         rs.non2xx.Load(),
+			Latency:        rs.hist.Snap(),
+			FailureSamples: rs.samples,
+		}
+		rep.Routes[name] = rr
+		rep.Total += rr.Count
+		rep.Errors += rr.Errors
+		rep.Non2xx += rr.Non2xx
+	}
+	rep.All = RouteReport{Count: rep.Total, Errors: rep.Errors, Non2xx: rep.Non2xx, Latency: all.Snap()}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Total) / elapsed.Seconds()
+	}
+	rep.ChurnBatches = st.churnN.Load()
+	return rep, nil
+}
+
+// closedLoop is one worker: draw a session from the zipf curve, run one
+// of its ops, repeat. A session another worker is mid-request on is
+// skipped and redrawn — a real user does not race themselves.
+func (st *runState) closedLoop(ctx context.Context, worker int) {
+	rng := rand.New(rand.NewSource(st.cfg.Seed + int64(worker)*7919))
+	zipf := rand.NewZipf(rng, st.cfg.ZipfS, st.cfg.ZipfV, uint64(st.cfg.Sessions-1))
+	for ctx.Err() == nil {
+		idx := int(zipf.Uint64())
+		s := st.states[idx]
+		if !s.mu.TryLock() {
+			continue
+		}
+		st.sessionOp(ctx, idx, s)
+		s.mu.Unlock()
+	}
+}
+
+// openLoop starts ops on a fixed schedule regardless of completions.
+func (st *runState) openLoop(ctx context.Context) {
+	rng := rand.New(rand.NewSource(st.cfg.Seed))
+	zipf := rand.NewZipf(rng, st.cfg.ZipfS, st.cfg.ZipfV, uint64(st.cfg.Sessions-1))
+	interval := time.Duration(float64(time.Second) / st.cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	sem := make(chan struct{}, st.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+		}
+		// One arrival. Find an idle session (bounded redraws: a hot,
+		// already-busy session must not stall the schedule).
+		var s *sessState
+		idx := -1
+		for tries := 0; tries < 8; tries++ {
+			i := int(zipf.Uint64())
+			if st.states[i].mu.TryLock() {
+				idx, s = i, st.states[i]
+				break
+			}
+		}
+		if s == nil {
+			st.shed.Add(1)
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			s.mu.Unlock()
+			st.shed.Add(1) // at the in-flight cap: arrival shed, not queued
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, s *sessState) {
+			defer wg.Done()
+			st.sessionOp(ctx, idx, s)
+			s.mu.Unlock()
+			<-sem
+		}(idx, s)
+	}
+}
+
+// Episode lengths, drawn per episode from the session's RNG: the 8–20
+// range matches the convergence behavior internal/simulate observes
+// (§5.6 sessions stabilize within tens of rounds).
+const (
+	episodeMinOps = 8
+	episodeMaxOps = 20
+)
+
+// sessionOp runs one operation for session idx, which the caller holds
+// locked: the first op of an episode is a recommend (nothing to react to
+// before a slate); afterwards the mix weights decide. When the episode's
+// op budget runs out the session logs out — DELETE, issued in the same
+// lock-hold as the final op, while the session is still the manager's
+// most recently used and cannot have been evicted underneath us.
+func (st *runState) sessionOp(ctx context.Context, idx int, s *sessState) {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(session.SeedFor(st.ids[idx])))
+	}
+	if s.opsLeft <= 0 {
+		s.opsLeft = episodeMinOps + s.rng.Intn(episodeMaxOps-episodeMinOps+1)
+	}
+	op := "recommend"
+	if s.all != nil {
+		total := st.cfg.MixRecommend + st.cfg.MixClick + st.cfg.MixFeedback
+		switch r := s.rng.Intn(total); {
+		case r < st.cfg.MixRecommend:
+			op = "recommend"
+		case r < st.cfg.MixRecommend+st.cfg.MixClick:
+			op = "click"
+		default:
+			op = "feedback"
+		}
+		// Reacting to a slate needs packages to react to.
+		if len(s.all) < 2 || len(s.rec) == 0 {
+			op = "recommend"
+		}
+	}
+	id := st.ids[idx]
+	switch op {
+	case "recommend":
+		st.recommendInto(ctx, id, s)
+	case "click":
+		// The user clicks the highest-scored recommended package — a user
+		// whose taste agrees with what the engine has learned so far, like
+		// internal/simulate's rational user once elicitation converges.
+		// Feedback consistent with the engine's own ranking keeps the
+		// constraint set satisfiable for the weight sampler; an arbitrary
+		// external order would not be realizable by any weight vector.
+		best := 0
+		for i := 1; i < len(s.rec); i++ {
+			if s.scores[i] > s.scores[best] {
+				best = i
+			}
+		}
+		if st.do(ctx, "click", http.MethodPost, "/sessions/"+id+"/click",
+			clickJSON{Chosen: s.rec[best], Shown: s.all}, nil) {
+			for _, p := range s.all {
+				if !pkgEqual(p, s.rec[best]) {
+					s.recordPref(s.rec[best], p)
+				}
+			}
+		}
+	case "feedback":
+		// An explicit pairwise preference between two recommended packages
+		// (only they carry true scores), directed by score. The pair must
+		// differ as packages (a self-preference is rejected), differ in
+		// score (a tie gives the user no basis to prefer either), and not
+		// contradict this episode's earlier answers (see sessState.prefs).
+		i := s.rng.Intn(len(s.rec))
+		w, l := -1, -1
+		for off, n := s.rng.Intn(len(s.rec)), len(s.rec); w < 0 && n > 0; n-- {
+			k := (off + n) % len(s.rec)
+			if k == i || pkgEqual(s.rec[i], s.rec[k]) || s.scores[i] == s.scores[k] {
+				continue
+			}
+			cw, cl := i, k
+			if s.scores[cw] < s.scores[cl] {
+				cw, cl = cl, cw
+			}
+			if !s.implies(s.rec[cl], s.rec[cw]) {
+				w, l = cw, cl
+			}
+		}
+		if w < 0 {
+			// No consistent comparable pair here; fetch a fresh slate.
+			st.recommendInto(ctx, id, s)
+			break
+		}
+		if st.do(ctx, "feedback", http.MethodPost, "/sessions/"+id+"/feedback",
+			feedbackJSON{Winner: s.rec[w], Loser: s.rec[l]}, nil) {
+			s.recordPref(s.rec[w], s.rec[l])
+		}
+	}
+	s.opsLeft--
+	if s.opsLeft <= 0 {
+		// Episode over: the user logs out and their learned state goes.
+		st.do(ctx, "sessions.delete", http.MethodDelete, "/sessions/"+id, nil, nil)
+		s.rec, s.scores, s.all, s.prefs = nil, nil, nil, nil
+	}
+}
+
+// recordPref notes winner ≻ loser in the episode's preference memory.
+func (s *sessState) recordPref(winner, loser []int) {
+	if s.prefs == nil {
+		s.prefs = make(map[string][]string)
+	}
+	w, l := sig(winner), sig(loser)
+	for _, have := range s.prefs[w] {
+		if have == l {
+			return
+		}
+	}
+	s.prefs[w] = append(s.prefs[w], l)
+}
+
+// implies reports whether the episode's recorded preferences already
+// place a above b (directly or transitively) — in which case posting
+// b ≻ a would contradict them. The graphs are tiny (an episode is at
+// most ~20 ops), so a plain DFS is plenty.
+func (s *sessState) implies(a, b []int) bool {
+	target := sig(b)
+	seen := map[string]bool{}
+	stack := []string{sig(a)}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == target {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, s.prefs[cur]...)
+	}
+	return false
+}
+
+// sig is a canonical package key for the preference memory.
+func sig(items []int) string {
+	var b strings.Builder
+	for i, id := range items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// recommendInto fetches a slate outside the op-mix bookkeeping (used
+// when a reaction op finds nothing to react to).
+func (st *runState) recommendInto(ctx context.Context, id string, s *sessState) {
+	var slate slateJSON
+	if !st.do(ctx, "recommend", http.MethodGet, "/sessions/"+id+"/recommend", nil, &slate) {
+		return
+	}
+	rec := make([][]int, 0, len(slate.Recommended))
+	scores := make([]float64, 0, len(slate.Recommended))
+	all := make([][]int, 0, len(slate.Recommended)+len(slate.Random))
+	for _, p := range slate.Recommended {
+		c := canonical(p.Items)
+		rec = append(rec, c)
+		scores = append(scores, p.Score)
+		all = append(all, c)
+	}
+	for _, p := range slate.Random {
+		all = append(all, canonical(p.Items))
+	}
+	if len(all) > 0 {
+		s.rec, s.scores, s.all = rec, scores, all
+	}
+}
+
+// pkgLess is a fixed total order on canonical item lists, used only to
+// compare packages for identity-adjacent purposes (pkgEqual) and to keep
+// comparisons deterministic.
+func pkgLess(a, b []int) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// pkgEqual reports whether two packages are the same item list.
+func pkgEqual(a, b []int) bool {
+	return !pkgLess(a, b) && !pkgLess(b, a)
+}
+
+// canonical sorts a wire item list into the representation pkgLess
+// orders: the same package must always compare equal to itself, and the
+// wire order of stable IDs is not guaranteed. The server re-canonicalizes
+// payloads itself, so posting sorted lists changes nothing semantically.
+func canonical(items []int) []int {
+	cp := append([]int(nil), items...)
+	sort.Ints(cp)
+	return cp
+}
+
+// churnLoop mutates the catalogue while traffic runs: a reprice batch
+// per interval, plus a rotating insert/delete pair every fourth batch so
+// epochs also see ID-set changes, not just value changes.
+func (st *runState) churnLoop(ctx context.Context) {
+	rng := rand.New(rand.NewSource(st.cfg.Seed + 104729))
+	tick := time.NewTicker(st.cfg.Churn)
+	defer tick.Stop()
+	const extraSlots = 16
+	inserted := make([]bool, extraSlots)
+	batch := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		items := make([]churnItemJSON, 0, st.cfg.ChurnBatch+1)
+		for i := 0; i < st.cfg.ChurnBatch; i++ {
+			vals := make([]float64, st.cfg.Features)
+			for f := range vals {
+				vals[f] = rng.Float64()
+			}
+			items = append(items, churnItemJSON{ID: rng.Intn(st.cfg.ChurnItems), Values: vals})
+		}
+		if batch%4 == 3 {
+			// Retire the extra item inserted two batches ago, so every
+			// fourth batch shrinks the ID set and the one before grew it.
+			slot := (batch - 2) % extraSlots
+			if inserted[slot] {
+				st.do(ctx, "catalog.delete", http.MethodDelete,
+					fmt.Sprintf("/catalog/items/%d", st.cfg.ChurnItems+slot), nil, nil)
+				inserted[slot] = false
+			}
+		}
+		if batch%4 == 1 {
+			slot := batch % extraSlots
+			vals := make([]float64, st.cfg.Features)
+			for f := range vals {
+				vals[f] = rng.Float64()
+			}
+			items = append(items, churnItemJSON{
+				ID:     st.cfg.ChurnItems + slot,
+				Name:   fmt.Sprintf("churn-%d", batch),
+				Values: vals,
+			})
+			inserted[slot] = true
+		}
+		st.do(ctx, "catalog.upsert", http.MethodPost, "/catalog/items",
+			map[string]any{"items": items}, nil)
+		st.churnN.Add(1)
+		batch++
+	}
+}
+
+// do issues one request, records it under the route, and decodes a 2xx
+// response into out (when non-nil). Reports whether the request got a
+// 2xx. A context canceled mid-request (run ending) is not counted at
+// all: the run's accounting only covers requests it let finish.
+func (st *runState) do(ctx context.Context, route, method, path string, body, out any) bool {
+	rs := st.routes[route]
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			rs.count.Add(1)
+			rs.errors.Add(1)
+			return false
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, st.cfg.BaseURL+path, rd)
+	if err != nil {
+		rs.count.Add(1)
+		rs.errors.Add(1)
+		return false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := st.cfg.Client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false // run ended mid-request; not the server's fault
+		}
+		rs.count.Add(1)
+		rs.errors.Add(1)
+		rs.sampleFailure(err.Error())
+		return false
+	}
+	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	decoded := true
+	if ok && out != nil {
+		decoded = json.NewDecoder(resp.Body).Decode(out) == nil
+	}
+	if !ok {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		rs.sampleFailure(fmt.Sprintf("%s %s -> %d: %s", method, path, resp.StatusCode, b))
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rs.count.Add(1)
+	rs.hist.Record(time.Since(start))
+	if !ok {
+		rs.non2xx.Add(1)
+	}
+	return ok && decoded
+}

@@ -1,0 +1,301 @@
+// The loadgen smoke test is the whole-system regression net: a few
+// seconds of zipfian recommend/click/feedback traffic against a real
+// in-process HTTP server with a mutating catalogue, under the race
+// detector in CI. It asserts the strongest invariants a healthy serving
+// path has: zero transport errors, zero non-2xx responses (the click
+// consistency and wire-format bugs this harness originally flushed out
+// all surfaced here), and server-side /healthz route metrics that
+// account for every request the generator sent.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"toppkg/internal/catalog"
+	"toppkg/internal/core"
+	"toppkg/internal/dataset"
+	"toppkg/internal/feature"
+	"toppkg/internal/ranking"
+	"toppkg/internal/search"
+	"toppkg/internal/server"
+	"toppkg/internal/session"
+)
+
+// newTestServer stands up the full serving stack — live catalogue,
+// shared core, session manager, HTTP API — sized for fast recommends.
+func newTestServer(t *testing.T) (*httptest.Server, *server.Server) {
+	t.Helper()
+	const items, features, phi = 400, 3, 3
+	data := dataset.UNI(items, features, rand.New(rand.NewSource(11)))
+	profile := feature.SimpleProfile(feature.AggSum, feature.AggAvg, feature.AggMax)
+	cat, err := catalog.New(catalog.Config{
+		Profile:        profile,
+		MaxPackageSize: phi,
+		Items:          data,
+		Coalesce:       5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := core.NewLiveShared(core.Config{
+		Items:          data,
+		Profile:        profile,
+		MaxPackageSize: phi,
+		K:              3,
+		SampleCount:    40,
+		Seed:           11,
+		Semantics:      ranking.EXP,
+		Psi:            0.9,
+		Search:         search.Options{MaxQueue: 64, MaxAccessed: 200},
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity above the simulated population: a mid-episode LRU eviction
+	// resets a session's pinned feedback epoch, and its next click could
+	// then legitimately 400 on a churn-deleted item — a real protocol
+	// property, but not the invariant this smoke asserts (zero failures).
+	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := server.New(mgr, server.Options{Catalog: cat})
+	ts := httptest.NewServer(api)
+	t.Cleanup(func() {
+		ts.Close()
+		cat.Close()
+		mgr.Close()
+	})
+	return ts, api
+}
+
+// healthzHTTP is the slice of /healthz this test reads.
+type healthzHTTP struct {
+	HTTP map[string]struct {
+		Requests  int64 `json:"requests"`
+		Status2xx int64 `json:"status_2xx"`
+		Status4xx int64 `json:"status_4xx"`
+		Status5xx int64 `json:"status_5xx"`
+	} `json:"http"`
+}
+
+func scrapeHealthz(t *testing.T, base string) healthzHTTP {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthzHTTP
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestSmokeMutatingCatalogue(t *testing.T) {
+	ts, _ := newTestServer(t)
+	dur := 3 * time.Second
+	if testing.Short() {
+		dur = 1500 * time.Millisecond
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Sessions:    5000,
+		ZipfS:       1.2,
+		Concurrency: 8,
+		Duration:    dur,
+		Churn:       100 * time.Millisecond,
+		ChurnBatch:  4,
+		ChurnItems:  400,
+		Features:    3,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 {
+		t.Fatal("load run sent no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors in %d requests: %+v", rep.Errors, rep.Total, rep.Routes)
+	}
+	if rep.Non2xx != 0 {
+		t.Fatalf("%d non-2xx responses in %d requests: %+v", rep.Non2xx, rep.Total, rep.Routes)
+	}
+	routes := []string{"recommend", "click", "feedback"}
+	if testing.Short() {
+		// A race-detector short run fits too few ops to guarantee the
+		// rarest op (feedback, 1/10 weight) fires at all.
+		routes = routes[:2]
+	}
+	for _, route := range routes {
+		if rep.Routes[route].Count == 0 {
+			t.Errorf("route %s saw no traffic in %d total requests", route, rep.Total)
+		}
+	}
+	if rep.ChurnBatches == 0 {
+		t.Error("catalogue churn never ran")
+	}
+	// Every fourth batch retires the extra item inserted two batches
+	// earlier, so a run past batch 3 must have exercised catalog.delete
+	// (a slot-rotation bug once left this route permanently silent).
+	if rep.ChurnBatches >= 4 && rep.Routes["catalog.delete"].Count == 0 {
+		t.Errorf("no catalogue deletes in %d churn batches", rep.ChurnBatches)
+	}
+	if rep.All.Latency.Count != rep.Total {
+		t.Errorf("aggregate histogram holds %d samples, want %d", rep.All.Latency.Count, rep.Total)
+	}
+
+	// Server-side accounting: every request the generator counted must
+	// appear in /healthz route metrics, route by route, plus exactly one
+	// healthz pre-flight from Run itself. A handler's metric is recorded
+	// just after its response is written, so allow the last responses'
+	// recordings a moment to land before declaring a mismatch.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		h := scrapeHealthz(t, ts.URL)
+		ok := true
+		var serverTotal int64
+		for name, m := range h.HTTP {
+			serverTotal += m.Requests
+			if m.Status4xx != 0 || m.Status5xx != 0 {
+				t.Fatalf("server counted failures on %s: %+v", name, m)
+			}
+			want := rep.Routes[name].Count
+			if name == "healthz" {
+				want = 1 // Run's pre-flight; this scrape isn't in its own snapshot
+			}
+			if m.Requests != want {
+				ok = false
+			}
+		}
+		if ok && serverTotal == rep.Total+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz accounts for %d requests, loadgen sent %d (+1 pre-flight); server view: %+v; client view: %+v",
+				serverTotal, rep.Total, h.HTTP, rep.Routes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStaticTraffic is the no-churn counterpart of the smoke test — the
+// static variant of the committed BENCH_serve.json runs.
+func TestStaticTraffic(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Sessions:    5000,
+		ZipfS:       1.2,
+		Concurrency: 8,
+		Duration:    1500 * time.Millisecond,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 || rep.Errors != 0 || rep.Non2xx != 0 {
+		t.Fatalf("static run: total=%d errors=%d non2xx=%d %+v",
+			rep.Total, rep.Errors, rep.Non2xx, rep.Routes)
+	}
+	if rep.ChurnBatches != 0 {
+		t.Fatalf("static run reported %d churn batches", rep.ChurnBatches)
+	}
+}
+
+// newStubServer fakes the serve API with trivial constant handlers: the
+// open-loop test checks the generator's arrival schedule, which only
+// holds when the server is not the bottleneck (under the race detector
+// the real stack is far too slow to serve 200 req/s).
+func newStubServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	slate := `{"recommended":[{"items":[1,2],"score":0.9},{"items":[3],"score":0.5}],"random":[{"items":[4]}],"epoch":0}`
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("GET /sessions/{id}/recommend", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(slate))
+	})
+	mux.HandleFunc("POST /sessions/{id}/click", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("POST /sessions/{id}/feedback", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestOpenLoop drives the fixed-arrival-rate mode: the schedule must
+// hold (sent + shed ≈ rate × duration) and everything sent must succeed.
+func TestOpenLoop(t *testing.T) {
+	ts := newStubServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Sessions:    500,
+		ZipfS:       1.3,
+		Concurrency: 4,
+		Rate:        200,
+		Duration:    time.Second,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Fatalf("mode = %q, want open", rep.Mode)
+	}
+	if rep.Errors != 0 || rep.Non2xx != 0 {
+		t.Fatalf("open-loop failures: errors=%d non2xx=%d %+v", rep.Errors, rep.Non2xx, rep.Routes)
+	}
+	arrivals := rep.Total + rep.Shed
+	// One second at 200/s: allow generous slack for ticker start-up and
+	// scheduler jitter, but the arrival schedule must clearly be running.
+	if arrivals < 100 || arrivals > 260 {
+		t.Fatalf("open loop produced %d arrivals (sent %d, shed %d), want ≈200", arrivals, rep.Total, rep.Shed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                         // no BaseURL
+		{BaseURL: "x", ZipfS: 0.9}, // zipf s must exceed 1
+		{BaseURL: "x", Sessions: -1},
+		{BaseURL: "x", MixRecommend: -1, MixClick: 1},
+		{BaseURL: "x", Rate: -5},
+		{BaseURL: "x", Churn: time.Second}, // churn needs Features
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+func TestPackageOrder(t *testing.T) {
+	if !pkgLess([]int{1, 2}, []int{1, 2, 3}) {
+		t.Error("shorter package must order below longer")
+	}
+	if !pkgLess([]int{1, 2, 3}, []int{1, 2, 4}) {
+		t.Error("ties break on item IDs")
+	}
+	if pkgLess([]int{5}, []int{5}) || !pkgEqual([]int{5}, []int{5}) {
+		t.Error("equal packages must compare equal")
+	}
+	if got := canonical([]int{9, 3, 7}); got[0] != 3 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("canonical([9 3 7]) = %v", got)
+	}
+}

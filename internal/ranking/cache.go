@@ -31,7 +31,7 @@ type Cache struct {
 	m     map[string]*list.Element
 	epoch uint64
 
-	hits, misses, evictions uint64
+	hits, misses, evictions                              uint64
 	retained, revived, reconcileDrops, invalidationDrops uint64
 
 	// history records the most recent delta swaps, newest last, bounded to

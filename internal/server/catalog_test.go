@@ -100,8 +100,8 @@ func TestHealthzReportsDeltaBuilds(t *testing.T) {
 	resp := postJSON(t, ts.URL+"/catalog/items?wait=1", UpsertRequest{Items: []ItemJSON{
 		{ID: 200, Name: "hot", Values: []*float64{v(0.9), v(0.4)}},
 	}}, nil)
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("POST /catalog/items = %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /catalog/items?wait=1 = %d, want 200 (honored wait)", resp.StatusCode)
 	}
 	var hz struct {
 		Catalog struct {
@@ -133,8 +133,8 @@ func TestCatalogUpsertAndDelete(t *testing.T) {
 		{ID: 100, Name: "fresh", Values: []*float64{v(0.5), nil}},
 		{ID: 101, Name: "fresh2", Values: []*float64{v(0.1), v(0.2)}},
 	}}, &ack)
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("POST /catalog/items = %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /catalog/items?wait=1 = %d, want 200: the wait was honored, the mutation is complete", resp.StatusCode)
 	}
 	if ack.Upserted != 2 || ack.Items != 32 || ack.Epoch != 2 {
 		t.Fatalf("upsert ack = %+v", ack)
@@ -147,8 +147,8 @@ func TestCatalogUpsertAndDelete(t *testing.T) {
 		t.Fatal("JSON null did not map to feature.Null")
 	}
 
-	if resp := doDelete(t, ts.URL+"/catalog/items/100?wait=1"); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("DELETE /catalog/items/100 = %d", resp.StatusCode)
+	if resp := doDelete(t, ts.URL+"/catalog/items/100?wait=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /catalog/items/100?wait=1 = %d, want 200 (honored wait)", resp.StatusCode)
 	}
 	if _, ok := cat.Current().DenseID(100); ok {
 		t.Fatal("deleted item still in epoch")
@@ -220,8 +220,8 @@ func TestRecommendAcrossAdminSwap(t *testing.T) {
 	for i := range items {
 		items[i] = ItemJSON{ID: 200 + i, Name: fmt.Sprintf("drop%d", i), Values: []*float64{v(0.8), v(0.9)}}
 	}
-	if resp := postJSON(t, ts.URL+"/catalog/items?wait=1", UpsertRequest{Items: items}, nil); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("admin upsert = %d", resp.StatusCode)
+	if resp := postJSON(t, ts.URL+"/catalog/items?wait=1", UpsertRequest{Items: items}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin upsert ?wait=1 = %d, want 200", resp.StatusCode)
 	}
 	var s2 SlateJSON
 	if resp := getJSON(t, ts.URL+"/sessions/alice/recommend", &s2); resp.StatusCode != http.StatusOK {
@@ -261,8 +261,8 @@ func TestSnapshotImportAcrossChurn(t *testing.T) {
 	}
 
 	// Stable ID 1 — a member of the winner — leaves the catalogue.
-	if resp := doDelete(t, ts.URL+"/catalog/items/1?wait=1"); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("admin delete = %d", resp.StatusCode)
+	if resp := doDelete(t, ts.URL+"/catalog/items/1?wait=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin delete ?wait=1 = %d, want 200", resp.StatusCode)
 	}
 
 	var report RestoreReport
@@ -316,8 +316,8 @@ func TestHealthzReportsRestoreDrops(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/sessions/bob/stats", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("evicting request = %d", resp.StatusCode)
 	}
-	if resp := doDelete(t, ts.URL+"/catalog/items/1?wait=1"); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("admin delete = %d", resp.StatusCode)
+	if resp := doDelete(t, ts.URL+"/catalog/items/1?wait=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin delete ?wait=1 = %d, want 200", resp.StatusCode)
 	}
 	if resp := getJSON(t, ts.URL+"/sessions/alice/stats", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("restoring request = %d", resp.StatusCode)

@@ -1,0 +1,70 @@
+// HTTP server construction with connection timeouts. The original
+// cmd/serve built a bare http.Server{Addr, Handler}: no header, read,
+// write, or idle timeout, so one slow-loris client (or a stalled proxy)
+// could hold a connection — and with it a kernel socket and a session's
+// request slot — forever. Every listener, including the pprof one, now
+// goes through NewHTTPServer so a deployment cannot forget the limits.
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// Default connection timeouts. Generous enough for a slow mobile client
+// posting a full snapshot, tight enough that a stalled peer cannot pin a
+// connection: a request must present its header within
+// DefaultReadHeaderTimeout, deliver its body within DefaultReadTimeout,
+// consume its response within DefaultWriteTimeout, and a kept-alive
+// connection idles out after DefaultIdleTimeout.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+)
+
+// Timeouts bundles the connection deadlines for NewHTTPServer. Zero
+// fields select the defaults above; negative fields disable that limit
+// (http.Server's "no timeout"), which is only sensible behind a trusted
+// load balancer that enforces its own.
+type Timeouts struct {
+	ReadHeader time.Duration
+	Read       time.Duration
+	Write      time.Duration
+	Idle       time.Duration
+}
+
+// withDefaults resolves the zero/negative conventions.
+func (t Timeouts) withDefaults() Timeouts {
+	pick := func(v, def time.Duration) time.Duration {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return 0 // disabled
+		}
+		return v
+	}
+	return Timeouts{
+		ReadHeader: pick(t.ReadHeader, DefaultReadHeaderTimeout),
+		Read:       pick(t.Read, DefaultReadTimeout),
+		Write:      pick(t.Write, DefaultWriteTimeout),
+		Idle:       pick(t.Idle, DefaultIdleTimeout),
+	}
+}
+
+// NewHTTPServer builds an http.Server with the connection timeouts
+// applied — the only way a listener should be constructed in this
+// codebase.
+func NewHTTPServer(addr string, handler http.Handler, t Timeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

@@ -1,0 +1,115 @@
+// Regression tests for the connection-timeout bugfix: a client that
+// stalls mid-header must be disconnected instead of holding the
+// connection (and a request slot) forever.
+package server
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// startTimeoutServer serves the given handler on a loopback listener
+// through NewHTTPServer and returns the address.
+func startTimeoutServer(t *testing.T, timeouts Timeouts) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer("", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), timeouts)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestStalledHeaderDisconnected: a connection that opens and then never
+// finishes its request header is cut off by ReadHeaderTimeout.
+func TestStalledHeaderDisconnected(t *testing.T) {
+	addr := startTimeoutServer(t, Timeouts{ReadHeader: 150 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request line, then silence — the slow-loris shape.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: stall")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 512)
+	start := time.Now()
+	for {
+		_, err := conn.Read(buf)
+		if err != nil {
+			if err == io.EOF || !err.(net.Error).Timeout() {
+				break // server closed the connection: the fix
+			}
+			t.Fatalf("connection still open %v after stalled header (read: %v)", time.Since(start), err)
+		}
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("stalled connection lived %v, want disconnect near the 150ms header timeout", waited)
+	}
+}
+
+// TestStalledBodyDisconnected: a request that presents headers but then
+// stalls its body is cut off by ReadTimeout.
+func TestStalledBodyDisconnected(t *testing.T) {
+	addr := startTimeoutServer(t, Timeouts{Read: 150 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /click HTTP/1.1\r\nHost: x\r\nContent-Length: 1000\r\n\r\n{")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := io.ReadAll(conn); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatalf("connection still open %v after stalled body", time.Since(start))
+		}
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("stalled-body connection lived %v", waited)
+	}
+}
+
+// TestHealthyRequestUnaffected: the defaults must not break a normal
+// request/response cycle.
+func TestHealthyRequestUnaffected(t *testing.T) {
+	addr := startTimeoutServer(t, Timeouts{})
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy request = %d", resp.StatusCode)
+	}
+}
+
+// TestTimeoutDefaults: zero fields pick the safe defaults, negative
+// fields disable, positive pass through.
+func TestTimeoutDefaults(t *testing.T) {
+	srv := NewHTTPServer(":0", nil, Timeouts{})
+	if srv.ReadHeaderTimeout != DefaultReadHeaderTimeout ||
+		srv.ReadTimeout != DefaultReadTimeout ||
+		srv.WriteTimeout != DefaultWriteTimeout ||
+		srv.IdleTimeout != DefaultIdleTimeout {
+		t.Fatalf("defaults not applied: %+v", srv)
+	}
+	srv = NewHTTPServer(":0", nil, Timeouts{Read: -1, Write: 7 * time.Second})
+	if srv.ReadTimeout != 0 {
+		t.Errorf("negative Read should disable, got %v", srv.ReadTimeout)
+	}
+	if srv.WriteTimeout != 7*time.Second {
+		t.Errorf("explicit Write not passed through, got %v", srv.WriteTimeout)
+	}
+}

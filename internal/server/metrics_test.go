@@ -1,0 +1,92 @@
+// Tests for the per-route HTTP metrics: counts and status classes must
+// account for every request, the legacy and prefixed spellings of a
+// session route must share one recorder, and /healthz must surface the
+// same numbers a MetricsSnapshot reports.
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestMetricsCountsAndStatusClasses(t *testing.T) {
+	_, ts := testServer(t)
+
+	// 2 OK recommends (one via each route spelling), one 400 click, one
+	// 404 (unknown path: not a registered route, must not be counted).
+	if resp := getJSON(t, ts.URL+"/sessions/alice/recommend", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/recommend", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy recommend = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/sessions/alice/click", ClickRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty click = %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/nosuchroute", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", resp.StatusCode)
+	}
+
+	var hz struct {
+		HTTP map[string]RouteMetrics `json:"http"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	rec := hz.HTTP["recommend"]
+	if rec.Requests != 2 || rec.Status2x != 2 || rec.Status4x != 0 || rec.Status5x != 0 {
+		t.Errorf("recommend metrics = %+v, want 2 requests all 2xx", rec)
+	}
+	if rec.Latency.Count != 2 || rec.Latency.P50Ms <= 0 || rec.Latency.P99Ms < rec.Latency.P50Ms {
+		t.Errorf("recommend latency = %+v", rec.Latency)
+	}
+	click := hz.HTTP["click"]
+	if click.Requests != 1 || click.Status4x != 1 || click.Status2x != 0 {
+		t.Errorf("click metrics = %+v, want 1 request, 1 4xx", click)
+	}
+	// Unused registered routes report zero with a stable key set.
+	if fb, ok := hz.HTTP["feedback"]; !ok || fb.Requests != 0 {
+		t.Errorf("feedback metrics = %+v (present %v), want zeroed entry", fb, ok)
+	}
+	for _, route := range []string{"healthz", "sessions.list", "sessions.delete", "catalog.get",
+		"catalog.upsert", "catalog.delete", "recommend", "click", "feedback", "stats",
+		"snapshot.get", "snapshot.post"} {
+		if _, ok := hz.HTTP[route]; !ok {
+			t.Errorf("healthz http is missing route %q", route)
+		}
+	}
+}
+
+// TestMetricsAccountForEveryRequest: the sum over routes equals the total
+// requests sent to registered routes — the invariant the loadgen smoke
+// test audits externally.
+func TestMetricsAccountForEveryRequest(t *testing.T) {
+	_, ts := testServer(t)
+	sent := 0
+	for i := 0; i < 5; i++ {
+		if resp := getJSON(t, ts.URL+"/sessions/u/recommend", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend = %d", resp.StatusCode)
+		}
+		sent++
+	}
+	if resp := getJSON(t, ts.URL+"/sessions/u/stats", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	sent++
+
+	var hz struct {
+		HTTP map[string]RouteMetrics `json:"http"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var total int64
+	for _, rm := range hz.HTTP {
+		total += rm.Requests
+	}
+	// The healthz scrape itself is recorded only after its handler
+	// returns, so it is not part of its own snapshot.
+	if total != int64(sent) {
+		t.Errorf("metrics account for %d requests, sent %d", total, sent)
+	}
+}

@@ -27,7 +27,9 @@
 //
 //	GET    /sessions                 → {"sessions": [{"id", "last_used", "feedback"}]}
 //	DELETE /sessions/{id}            → drops the session and its snapshot
-//	GET    /healthz                  → {"status": "ok", "catalog": {...}, "sessions": {...}, "search_cache": {...}}
+//	GET    /healthz                  → {"status": "ok", "catalog": {...}, "sessions": {...},
+//	                                    "search_cache": {...}, "http": {route: {requests,
+//	                                    status_2xx/4xx/5xx, latency p50/p95/p99}}}
 //
 // Catalogue admin endpoints (Options.Catalog; the mutating ones return 409
 // when the process serves a static catalogue):
@@ -39,7 +41,8 @@
 // Mutations are acknowledged with 202 Accepted: the batch is committed and
 // a fresh epoch is built and swapped in by the background rebuilder.
 // Append ?wait=1 to block until the returned stats reflect an epoch
-// covering the mutation. Item IDs in the admin API are stable catalogue
+// covering the mutation — an honored wait answers 200 OK, because the
+// operation is complete by then. Item IDs in the admin API are stable catalogue
 // keys; the session API's package item IDs are dense positions in the
 // epoch a slate was computed against.
 //
@@ -97,6 +100,7 @@ type Server struct {
 	cat     *catalog.Catalog // nil = static catalogue
 	mux     *http.ServeMux
 	maxBody int64
+	metrics *Metrics
 }
 
 // New builds a server over a session manager.
@@ -104,28 +108,33 @@ func New(mgr *session.Manager, opts Options) *Server {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{mgr: mgr, cat: opts.Catalog, mux: http.NewServeMux(), maxBody: opts.MaxBodyBytes}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /sessions", s.handleSessions)
-	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
-	s.mux.HandleFunc("GET /catalog", s.handleCatalogGet)
-	s.mux.HandleFunc("POST /catalog/items", s.handleCatalogUpsert)
-	s.mux.HandleFunc("DELETE /catalog/items/{id}", s.handleCatalogDelete)
+	s := &Server{mgr: mgr, cat: opts.Catalog, mux: http.NewServeMux(), maxBody: opts.MaxBodyBytes, metrics: newMetrics()}
+	reg := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.metrics.instrument(route, h))
+	}
+	reg("GET /healthz", "healthz", s.handleHealthz)
+	reg("GET /sessions", "sessions.list", s.handleSessions)
+	reg("DELETE /sessions/{id}", "sessions.delete", s.handleSessionDelete)
+	reg("GET /catalog", "catalog.get", s.handleCatalogGet)
+	reg("POST /catalog/items", "catalog.upsert", s.handleCatalogUpsert)
+	reg("DELETE /catalog/items/{id}", "catalog.delete", s.handleCatalogDelete)
 	// Each session-scoped route is registered twice: under /sessions/{id}
-	// and at the legacy root path (session from X-Session-ID header).
+	// and at the legacy root path (session from X-Session-ID header). Both
+	// registrations share one metrics recorder — they are the same logical
+	// route.
 	for _, ep := range []struct {
-		method, path string
-		h            http.HandlerFunc
+		method, path, route string
+		h                   http.HandlerFunc
 	}{
-		{"GET", "recommend", s.handleRecommend},
-		{"POST", "click", s.handleClick},
-		{"POST", "feedback", s.handleFeedback},
-		{"GET", "stats", s.handleStats},
-		{"GET", "snapshot", s.handleSnapshotGet},
-		{"POST", "snapshot", s.handleSnapshotPost},
+		{"GET", "recommend", "recommend", s.handleRecommend},
+		{"POST", "click", "click", s.handleClick},
+		{"POST", "feedback", "feedback", s.handleFeedback},
+		{"GET", "stats", "stats", s.handleStats},
+		{"GET", "snapshot", "snapshot.get", s.handleSnapshotGet},
+		{"POST", "snapshot", "snapshot.post", s.handleSnapshotPost},
 	} {
-		s.mux.HandleFunc(ep.method+" /sessions/{id}/"+ep.path, ep.h)
-		s.mux.HandleFunc(ep.method+" /"+ep.path, ep.h)
+		reg(ep.method+" /sessions/{id}/"+ep.path, ep.route, ep.h)
+		reg(ep.method+" /"+ep.path, ep.route, ep.h)
 	}
 	return s
 }
@@ -147,20 +156,24 @@ func sessionID(r *http.Request) string {
 	return DefaultSessionID
 }
 
-// PackageJSON is the wire form of one package.
+// PackageJSON is the wire form of one package. Score is always present:
+// a legitimate zero score must be distinguishable from "no score"
+// (exploration packages report 0 by convention, and a package whose
+// weighted utility nets to exactly zero is not absent).
 type PackageJSON struct {
 	Items []int    `json:"items"`
 	Names []string `json:"names,omitempty"`
-	Score float64  `json:"score,omitempty"`
+	Score float64  `json:"score"`
 }
 
 // SlateJSON is the wire form of a recommendation slate. Epoch identifies
-// the catalogue epoch the slate's item IDs are positions in (0 = static
-// catalogue).
+// the catalogue epoch the slate's item IDs are positions in and is
+// always present — epoch 0 (a static catalogue) is a real epoch, not an
+// absent field.
 type SlateJSON struct {
 	Recommended []PackageJSON `json:"recommended"`
 	Random      []PackageJSON `json:"random"`
-	Epoch       uint64        `json:"epoch,omitempty"`
+	Epoch       uint64        `json:"epoch"`
 }
 
 // pkgJSON resolves names against the space of the epoch the slate was
@@ -366,6 +379,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"catalog":      cat,
 		"sessions":     s.mgr.Stats(), // includes evict_queue depth
 		"search_cache": s.mgr.SearchCacheStats(),
+		// Per-route request counts, status classes, and latency quantiles.
+		// The in-flight /healthz request itself is not yet counted: its
+		// recorder runs after the handler returns.
+		"http": s.MetricsSnapshot(),
 	})
 }
 
@@ -457,12 +474,16 @@ func parseWait(r *http.Request) (bool, error) {
 	return wait, nil
 }
 
-// finishMutation acknowledges a committed catalogue mutation: with
-// wait set it blocks until the swapped-in epoch covers the batch, so the
-// reported stats (and every later request) reflect it.
+// finishMutation acknowledges a committed catalogue mutation. With wait
+// set it blocks until the swapped-in epoch covers the batch and answers
+// 200 OK — the operation is complete, not accepted-for-later; without it
+// the batch is pending a background rebuild and the honest answer is
+// 202 Accepted.
 func (s *Server) finishMutation(w http.ResponseWriter, wait bool, extra map[string]any) {
+	code := http.StatusAccepted
 	if wait {
 		s.cat.Flush()
+		code = http.StatusOK
 	}
 	st := s.cat.Stats()
 	body := map[string]any{"epoch": st.Epoch, "items": st.Items, "pending": st.Pending}
@@ -470,7 +491,7 @@ func (s *Server) finishMutation(w http.ResponseWriter, wait bool, extra map[stri
 		body[k] = v
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
+	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(body)
 }
 

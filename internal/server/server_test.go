@@ -511,3 +511,69 @@ func TestSnapshotRestoreExceedsClickCap(t *testing.T) {
 		t.Fatalf("restore of own snapshot rejected: %d", r2.StatusCode)
 	}
 }
+
+// TestSlateWireZeroFieldsPresent: a zero score and epoch 0 are real
+// values, not absent ones — the previous omitempty tags silently dropped
+// both from the wire, making "score 0" indistinguishable from "no score"
+// and epoch 0 of a static catalogue from a missing epoch.
+func TestSlateWireZeroFieldsPresent(t *testing.T) {
+	_, ts := testServer(t) // static catalogue: slates report epoch 0
+	resp, err := http.Get(ts.URL + "/sessions/alice/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend = %d (%v)", resp.StatusCode, err)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := keys["epoch"]
+	if !ok {
+		t.Fatal("slate wire form dropped epoch 0; the field must always be present")
+	}
+	if string(ep) != "0" {
+		t.Fatalf("static slate epoch = %s, want 0", ep)
+	}
+	var slate SlateJSON
+	if err := json.Unmarshal(raw, &slate); err != nil {
+		t.Fatal(err)
+	}
+	if len(slate.Random) == 0 {
+		t.Fatal("precondition: no exploration packages on the slate")
+	}
+	// Every package object — including the zero-scored exploration ones —
+	// must carry a score key.
+	var shape struct {
+		Random []map[string]json.RawMessage `json:"random"`
+	}
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range shape.Random {
+		if _, ok := p["score"]; !ok {
+			t.Fatalf("random package %d dropped its zero score from the wire", i)
+		}
+	}
+	// And the values round-trip: decode → re-encode → decode preserves
+	// zero scores and the zero epoch bit-for-bit.
+	re, err := json.Marshal(slate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SlateJSON
+	if err := json.Unmarshal(re, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != slate.Epoch || len(back.Random) != len(slate.Random) {
+		t.Fatalf("slate did not round-trip: %+v vs %+v", back, slate)
+	}
+	for i := range slate.Random {
+		if back.Random[i].Score != slate.Random[i].Score {
+			t.Fatalf("random package %d score changed across round-trip", i)
+		}
+	}
+}
