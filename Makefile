@@ -8,7 +8,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: test race bench bench-serve fuzz-smoke lint
+.PHONY: test race bench bench-serve bench-serve-sharded fuzz-smoke lint
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -61,6 +61,22 @@ LOADGEN_FLAGS := -sessions 100000 -items 1000 -samples 30 -k 3 -concurrency 4 -d
 bench-serve:
 	@{ $(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) ; \
 	   $(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -churn 50ms ; } \
+	  | $(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
+	@echo wrote BENCH_serve.json
+
+# bench-serve-sharded folds the sharded-tier runs into the same
+# BENCH_serve.json: cmd/loadgen boots 3 in-process backends behind a
+# shardgw gateway (one shared session store, consistent-hash routing) and
+# drives the same static + mutating workloads through it. benchjson
+# -serve pairs them with the single-process runs already in the file and
+# records the throughput scaleout ratio and per-route p50/p99
+# comparisons. On a single-core host expect scaleout ≤ 1 (the gateway
+# adds a hop and the shards share the core); the ratio is only meaningful
+# on a machine with ≥ 4 CPUs. Run bench-serve first so the single-process
+# baselines come from the same parameter set.
+bench-serve-sharded:
+	@{ $(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -shards 3 ; \
+	   $(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -shards 3 -churn 50ms ; } \
 	  | $(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
 	@echo wrote BENCH_serve.json
 

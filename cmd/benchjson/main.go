@@ -176,8 +176,22 @@ type ServeComparison struct {
 	P99Ratio      float64 `json:"p99_ratio,omitempty"`
 }
 
+// ScaleoutComparison pairs one route's single-process latency with its
+// sharded-gateway counterpart. P99Ratio is sharded p99 over single p99 —
+// the tail-latency cost of the extra proxy hop (and, on a multi-core
+// host, what the parallelism buys back).
+type ScaleoutComparison struct {
+	Route       string  `json:"route"`
+	SingleP50Ms float64 `json:"single_p50_ms"`
+	ShardedP50M float64 `json:"sharded_p50_ms"`
+	SingleP99Ms float64 `json:"single_p99_ms"`
+	ShardedP99M float64 `json:"sharded_p99_ms"`
+	P99Ratio    float64 `json:"p99_ratio,omitempty"`
+}
+
 // ServeReport is the BENCH_serve.json layout: the loadgen run records
-// verbatim, plus derived static-vs-mutating comparisons.
+// verbatim, plus derived static-vs-mutating and single-vs-sharded
+// comparisons.
 type ServeReport struct {
 	Generated string           `json:"generated"`
 	GoVersion string           `json:"go_version"`
@@ -187,6 +201,13 @@ type ServeReport struct {
 	// analogue of the ChurnRecommend speedup in BENCH_recommend.json.
 	ThroughputRetained float64           `json:"throughput_retained,omitempty"`
 	Comparisons        []ServeComparison `json:"comparisons,omitempty"`
+	// ShardScaleout is sharded RPS over static RPS (runs "sharded" vs
+	// "static"); ShardMutatingScaleout the same for the churn pair. On a
+	// single-core host expect ≤ 1 — shards add a proxy hop but compete for
+	// the one core; the scale-out win needs cores for the shards to own.
+	ShardScaleout         float64              `json:"shard_scaleout,omitempty"`
+	ShardMutatingScaleout float64              `json:"shard_mutating_scaleout,omitempty"`
+	ShardComparisons      []ScaleoutComparison `json:"shard_comparisons,omitempty"`
 }
 
 // upsertRun replaces the run with the same name or appends.
@@ -245,6 +266,58 @@ func compareServe(runs []loadgen.Report) ([]ServeComparison, float64) {
 	return out, retained
 }
 
+// findRun returns the run with the given name, or nil.
+func findRun(runs []loadgen.Report, name string) *loadgen.Report {
+	for i := range runs {
+		if runs[i].Name == name {
+			return &runs[i]
+		}
+	}
+	return nil
+}
+
+// compareScaleout derives single-vs-sharded comparisons from the runs
+// named "static"/"sharded" (route latencies + throughput ratio) and
+// "mutating"/"sharded-mutating" (throughput ratio only — churn-pair
+// route latencies already live in Comparisons for the single process).
+func compareScaleout(runs []loadgen.Report) ([]ScaleoutComparison, float64, float64) {
+	var cmps []ScaleoutComparison
+	scaleout := 0.0
+	single, sharded := findRun(runs, "static"), findRun(runs, "sharded")
+	if single != nil && sharded != nil {
+		var routes []string
+		for name, rr := range single.Routes {
+			if name != "healthz" && rr.Count > 0 && sharded.Routes[name].Count > 0 {
+				routes = append(routes, name)
+			}
+		}
+		sort.Strings(routes)
+		for _, name := range routes {
+			s, g := single.Routes[name], sharded.Routes[name]
+			c := ScaleoutComparison{
+				Route:       name,
+				SingleP50Ms: s.Latency.P50Ms,
+				ShardedP50M: g.Latency.P50Ms,
+				SingleP99Ms: s.Latency.P99Ms,
+				ShardedP99M: g.Latency.P99Ms,
+			}
+			if s.Latency.P99Ms > 0 {
+				c.P99Ratio = g.Latency.P99Ms / s.Latency.P99Ms
+			}
+			cmps = append(cmps, c)
+		}
+		if single.ThroughputRPS > 0 {
+			scaleout = sharded.ThroughputRPS / single.ThroughputRPS
+		}
+	}
+	mutScaleout := 0.0
+	mut, shardedMut := findRun(runs, "mutating"), findRun(runs, "sharded-mutating")
+	if mut != nil && shardedMut != nil && mut.ThroughputRPS > 0 {
+		mutScaleout = shardedMut.ThroughputRPS / mut.ThroughputRPS
+	}
+	return cmps, scaleout, mutScaleout
+}
+
 // serveMode folds loadgen run records from stdin into a ServeReport,
 // keeping runs already present in the out file.
 func serveMode(outPath string) {
@@ -283,6 +356,7 @@ func serveMode(outPath string) {
 		Runs:      runs,
 	}
 	rep.Comparisons, rep.ThroughputRetained = compareServe(runs)
+	rep.ShardComparisons, rep.ShardScaleout, rep.ShardMutatingScaleout = compareScaleout(runs)
 	writeOut(outPath, rep)
 	for _, c := range rep.Comparisons {
 		fmt.Fprintf(os.Stderr, "%s: p99 %.3gms -> %.3gms under churn (%.2fx)\n",
@@ -290,6 +364,14 @@ func serveMode(outPath string) {
 	}
 	if rep.ThroughputRetained > 0 {
 		fmt.Fprintf(os.Stderr, "throughput retained under churn: %.2f\n", rep.ThroughputRetained)
+	}
+	for _, c := range rep.ShardComparisons {
+		fmt.Fprintf(os.Stderr, "%s: p99 %.3gms single -> %.3gms sharded (%.2fx)\n",
+			c.Route, c.SingleP99Ms, c.ShardedP99M, c.P99Ratio)
+	}
+	if rep.ShardScaleout > 0 {
+		fmt.Fprintf(os.Stderr, "sharded throughput scaleout: %.2fx static (%.2fx mutating) on %d CPUs\n",
+			rep.ShardScaleout, rep.ShardMutatingScaleout, rep.CPUs)
 	}
 }
 

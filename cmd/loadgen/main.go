@@ -38,6 +38,7 @@ import (
 	"toppkg/internal/search"
 	"toppkg/internal/server"
 	"toppkg/internal/session"
+	"toppkg/internal/shard"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 		churn       = flag.Duration("churn", 0, "catalogue mutation batch interval (0: static catalogue)")
 		churnBatch  = flag.Int("churn-batch", 8, "items repriced per churn batch")
 		churnItems  = flag.Int("churn-items", 1000, "stable-ID range repriced by churn")
+		shards      = flag.Int("shards", 1, "in-process backend count: > 1 stands up N serve stacks behind a shard gateway and drives the gateway (ignored with -target)")
 
 		// Self-serve mode (when -target is empty).
 		kind     = flag.String("dataset", "uni", "in-process dataset: uni, pwr, cor, ant, nba")
@@ -78,11 +80,16 @@ func main() {
 	var shutdown func()
 	if base == "" {
 		var err error
-		base, shutdown, err = selfServe(selfOpts{
+		opts := selfOpts{
 			kind: *kind, items: *items, features: *features, phi: *phi, k: *k,
 			samples: *samples, sem: *sem, psi: *psi, quantum: *quantum, cache: *cache,
 			seed: *seed, sessions: *sessions, mutable: *churn > 0,
-		})
+		}
+		if *shards > 1 {
+			base, shutdown, err = selfServeSharded(opts, *shards)
+		} else {
+			base, shutdown, err = selfServe(opts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,11 +115,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *target == "" && *shards > 1 {
+		rep.Shards = *shards
+	}
 	rep.Name = *name
 	if rep.Name == "" {
 		rep.Name = "static"
 		if *churn > 0 {
 			rep.Name = "mutating"
+		}
+		if rep.Shards > 1 {
+			rep.Name = "sharded-" + rep.Name
+			if rep.Name == "sharded-static" {
+				rep.Name = "sharded"
+			}
 		}
 	}
 
@@ -138,18 +154,28 @@ type selfOpts struct {
 	mutable                                 bool
 }
 
-// selfServe stands the full serving stack up on a loopback listener:
-// catalogue (mutable when churn is on), shared core, session manager,
-// HTTP API with the default connection timeouts.
-func selfServe(o selfOpts) (string, func(), error) {
+// stack is one in-process serving stack on a loopback listener.
+type stack struct {
+	url  string
+	stop func()
+}
+
+// buildStack stands one full serving stack up on a loopback listener:
+// catalogue (mutable when churn is on), shared core, session manager
+// (over the given store, shared across shards in sharded mode), HTTP API
+// with the default connection timeouts. Every stack built from the same
+// selfOpts holds an identical catalogue — dataset generation is seeded —
+// which is exactly the replicated-catalogue premise of a sharded
+// deployment.
+func buildStack(o selfOpts, shardID string, store session.Store) (*stack, error) {
 	rng := rand.New(rand.NewSource(o.seed))
 	data, err := dataset.Generate(o.kind, o.items, o.features, rng)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	semantics, err := ranking.ParseSemantics(o.sem)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	cycle := []feature.Agg{feature.AggSum, feature.AggAvg, feature.AggMax, feature.AggMin}
 	aggs := make([]feature.Agg, o.features)
@@ -186,38 +212,32 @@ func selfServe(o selfOpts) (string, func(), error) {
 			DeltaThreshold: catalog.DefaultDeltaThreshold,
 		})
 		if err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		shared, err = core.NewLiveShared(cfg, cat)
 	} else {
 		shared, err = core.NewShared(cfg)
 	}
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	// Capacity above the population: a mid-run eviction resets a session's
 	// pinned feedback epoch, which under churn can fail stale clicks —
 	// benchmark runs measure serving latency, not eviction policy.
-	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: o.sessions + 1})
+	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: o.sessions + 1, Store: store})
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
-	srv := server.NewHTTPServer(ln.Addr().String(), server.New(mgr, server.Options{Catalog: cat}), server.Timeouts{})
+	srv := server.NewHTTPServer(ln.Addr().String(), server.New(mgr, server.Options{Catalog: cat, ShardID: shardID}), server.Timeouts{})
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("self-serve listener: %v", err)
 		}
 	}()
-	mode := "static"
-	if o.mutable {
-		mode = "mutable"
-	}
-	fmt.Fprintf(os.Stderr, "self-serving %s (%d items, %d features, %s catalogue) on %s\n",
-		o.kind, len(data), o.features, mode, ln.Addr())
 	stop := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -226,6 +246,79 @@ func selfServe(o selfOpts) (string, func(), error) {
 			cat.Close()
 		}
 		mgr.Close()
+	}
+	return &stack{url: "http://" + ln.Addr().String(), stop: stop}, nil
+}
+
+// selfServe is the single-process mode: one stack, driven directly.
+func selfServe(o selfOpts) (string, func(), error) {
+	st, err := buildStack(o, "", nil)
+	if err != nil {
+		return "", nil, err
+	}
+	mode := "static"
+	if o.mutable {
+		mode = "mutable"
+	}
+	fmt.Fprintf(os.Stderr, "self-serving %s (%d items, %d features, %s catalogue) on %s\n",
+		o.kind, o.items, o.features, mode, st.url)
+	return st.url, st.stop, nil
+}
+
+// selfServeSharded stands up n identical backend stacks plus a shard
+// gateway on its own loopback listener and drives the gateway — the
+// whole sharded topology in one process, so `make bench-serve-sharded`
+// needs no orchestration. The backends share one in-memory session store
+// (the moral equivalent of shards pointing -store at the same location),
+// so rebalancing semantics hold here too.
+func selfServeSharded(o selfOpts, n int) (string, func(), error) {
+	store := session.NewMemStore()
+	backends := make([]shard.Backend, 0, n)
+	stacks := make([]*stack, 0, n)
+	fail := func(err error) (string, func(), error) {
+		for _, st := range stacks {
+			st.stop()
+		}
+		return "", nil, err
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		st, err := buildStack(o, id, store)
+		if err != nil {
+			return fail(err)
+		}
+		stacks = append(stacks, st)
+		backends = append(backends, shard.Backend{ID: id, URL: st.url})
+	}
+	gw, err := shard.New(shard.Config{}, backends)
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		return fail(err)
+	}
+	srv := server.NewHTTPServer(ln.Addr().String(), gw, server.Timeouts{})
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("gateway listener: %v", err)
+		}
+	}()
+	mode := "static"
+	if o.mutable {
+		mode = "mutable"
+	}
+	fmt.Fprintf(os.Stderr, "self-serving %s (%d items, %d features, %s catalogue) on %d shards behind gateway %s\n",
+		o.kind, o.items, o.features, mode, n, "http://"+ln.Addr().String())
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		gw.Close()
+		for _, st := range stacks {
+			st.stop()
+		}
 	}
 	return "http://" + ln.Addr().String(), stop, nil
 }

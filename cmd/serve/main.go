@@ -32,6 +32,7 @@ import (
 	_ "net/http/pprof" // registers debug handlers on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,7 +58,9 @@ func main() {
 		sem      = flag.String("semantics", "exp", "ranking semantics: exp, tkp, mpo")
 		psi      = flag.Float64("psi", 1, "feedback-noise tolerance (§7): a weight sample violating x preferences survives w.p. (1-psi)^x; 1 = hard constraints")
 		capacity = flag.Int("capacity", session.DefaultCapacity, "resident sessions before LRU eviction")
-		snapdir  = flag.String("snapshots", "", "directory persisting evicted sessions (empty: evicted state is dropped)")
+		snapdir  = flag.String("snapshots", "", "directory persisting evicted sessions (empty: evicted state is dropped); shorthand for -store dir:DIR")
+		storeSpc = flag.String("store", "", "session store spec, scheme:rest (schemes: "+strings.Join(session.StoreSchemes(), ", ")+"); shards behind one gateway must share a store for rebalancing")
+		shardID  = flag.String("shard-id", "", "this process's identity in a sharded deployment: reported in /healthz and required to match DrainRequest.Self on /admin/drain")
 		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		restore  = flag.String("restore", "", "path of a session snapshot to restore into the default session")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -156,12 +159,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var store session.Store
+	if *snapdir != "" && *storeSpc != "" {
+		log.Fatal("-snapshots and -store are two spellings of the same thing; set only one")
+	}
+	spec := *storeSpc
 	if *snapdir != "" {
-		store, err = session.NewDirStore(*snapdir)
-		if err != nil {
-			log.Fatal(err)
-		}
+		spec = *snapdir // bare path opens as a DirStore
+	}
+	store, err := session.OpenStore(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shardID != "" && !session.ValidID(*shardID) {
+		log.Fatalf("-shard-id %q is not a valid identifier", *shardID)
 	}
 	mgr, err := session.NewManager(session.Config{Shared: shared, Capacity: *capacity, Store: store, EvictWorkers: *evictW})
 	if err != nil {
@@ -218,7 +228,7 @@ func main() {
 	}
 	fmt.Printf("serving %s (%d items, %d features, %s) on %s, capacity %d sessions\n",
 		*kind, len(data), *features, mode, *addr, *capacity)
-	srv := server.NewHTTPServer(*addr, server.New(mgr, server.Options{MaxBodyBytes: *maxBody, Catalog: cat}), timeouts)
+	srv := server.NewHTTPServer(*addr, server.New(mgr, server.Options{MaxBodyBytes: *maxBody, Catalog: cat, ShardID: *shardID}), timeouts)
 	// Graceful shutdown: drain HTTP, quiesce the catalogue (every batch
 	// acknowledged with 202/200 reaches a built epoch and the rebuilder
 	// goroutine exits), then flush resident sessions to the snapshot store,

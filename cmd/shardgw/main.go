@@ -1,0 +1,122 @@
+// Command shardgw fronts N serve backends as one logical recommender.
+// Session traffic is consistent-hash routed by session ID to its owner
+// shard; catalogue mutations are sequenced into a replicated log and
+// fanned out to every shard in order, so all shards converge on the same
+// catalogue content (verify via idmap_hash in each shard's /healthz, or
+// the gateway's own GET /catalog convergence report).
+//
+// Usage (backends first, each with its shard identity and a shared
+// session store so rebalancing can move sessions between them):
+//
+//	serve -addr :7101 -shard-id s0 -store dir:/var/lib/toppkg/sessions -mutable-catalog &
+//	serve -addr :7102 -shard-id s1 -store dir:/var/lib/toppkg/sessions -mutable-catalog &
+//	shardgw -addr :8080 -backend s0=http://127.0.0.1:7101 -backend s1=http://127.0.0.1:7102
+//
+//	curl localhost:8080/sessions/alice/recommend   # routed to alice's shard
+//	curl localhost:8080/catalog                    # cross-shard convergence report
+//	curl localhost:8080/healthz                    # ring + per-shard health
+//
+// Membership changes at runtime (drains moved sessions through the
+// shared store before the ring swaps):
+//
+//	curl -X POST localhost:8080/gateway/shards -d '{"id":"s2","url":"http://127.0.0.1:7103"}'
+//	curl -X DELETE localhost:8080/gateway/shards/s2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"toppkg/internal/server"
+	"toppkg/internal/shard"
+)
+
+// backendFlags collects repeated -backend id=url values.
+type backendFlags []shard.Backend
+
+func (b *backendFlags) String() string {
+	parts := make([]string, len(*b))
+	for i, be := range *b {
+		parts[i] = be.ID + "=" + be.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *backendFlags) Set(v string) error {
+	id, url, ok := strings.Cut(v, "=")
+	if !ok || id == "" || url == "" {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	*b = append(*b, shard.Backend{ID: id, URL: url})
+	return nil
+}
+
+func main() {
+	var backends backendFlags
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		vnodes   = flag.Int("vnodes", shard.DefaultVNodes, "virtual nodes per shard on the hash ring")
+		retries  = flag.Int("retries", shard.DefaultRetries, "proxy retry attempts on connection failure")
+		backoff  = flag.Duration("retry-backoff", shard.DefaultRetryBackoff, "first proxy retry delay (doubles per attempt)")
+		probeIvl = flag.Duration("probe-interval", shard.DefaultProbeInterval, "background shard health probe interval")
+		applyTO  = flag.Duration("apply-timeout", shard.DefaultApplyTimeout, "bound on ?wait=1 mutations and new-shard log catch-up")
+		drainTO  = flag.Duration("drain-timeout", shard.DefaultDrainTimeout, "bound on in-flight draining during shard removal")
+		maxBody  = flag.Int64("max-body", shard.DefaultMaxBodyBytes, "proxied request body size limit in bytes")
+		clientTO = flag.Duration("backend-timeout", 10*time.Second, "per-request timeout towards backends")
+		readTO   = flag.Duration("read-timeout", server.DefaultReadTimeout, "max duration for reading an entire request incl. body (negative disables)")
+		writeTO  = flag.Duration("write-timeout", server.DefaultWriteTimeout, "max duration for writing a response (negative disables)")
+		idleTO   = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "how long a keep-alive connection may sit idle (negative disables)")
+		headerTO = flag.Duration("read-header-timeout", server.DefaultReadHeaderTimeout, "max duration for reading request headers (negative disables)")
+	)
+	flag.Var(&backends, "backend", "backend shard as id=url (repeat per shard); id must match the backend's -shard-id")
+	flag.Parse()
+
+	if len(backends) == 0 {
+		log.Fatal("at least one -backend id=url is required")
+	}
+	gw, err := shard.New(shard.Config{
+		VNodes:        *vnodes,
+		Retries:       *retries,
+		RetryBackoff:  *backoff,
+		ProbeInterval: *probeIvl,
+		ApplyTimeout:  *applyTO,
+		DrainTimeout:  *drainTO,
+		MaxBodyBytes:  *maxBody,
+		Client:        &http.Client{Timeout: *clientTO},
+	}, backends)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]string, len(backends))
+	for i, b := range backends {
+		ids[i] = b.ID
+	}
+	fmt.Printf("gateway on %s fronting %d shards (%s), %d vnodes each\n",
+		*addr, len(backends), strings.Join(ids, ", "), *vnodes)
+	timeouts := server.Timeouts{ReadHeader: *headerTO, Read: *readTO, Write: *writeTO, Idle: *idleTO}
+	srv := server.NewHTTPServer(*addr, gw, timeouts)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		log.Print("shutting down gateway")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx) // drain client connections first
+		gw.Close()            // then stop appliers and the prober
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -212,6 +212,17 @@ type Report struct {
 	All RouteReport `json:"all"`
 	// ChurnBatches counts catalogue mutation batches sent (mutating runs).
 	ChurnBatches int64 `json:"churn_batches,omitempty"`
+	// Shards is the backend count when the target was a shard gateway
+	// (recorded by cmd/loadgen's -shards mode; 0 = single process).
+	Shards int `json:"shards,omitempty"`
+	// SettlePolls counts the post-run GET /catalog polls a churn run made
+	// waiting for the catalogue to settle (see settle below); they run
+	// after the measured window and are excluded from Total and the
+	// latency histograms. SettleFailed is set when the target never
+	// settled within the timeout — accounting read from /healthz after a
+	// failed settle may still be racing epoch builds.
+	SettlePolls  int64 `json:"settle_polls,omitempty"`
+	SettleFailed bool  `json:"settle_failed,omitempty"`
 }
 
 // runState is the shared state of one Run.
@@ -379,7 +390,48 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.ThroughputRPS = float64(rep.Total) / elapsed.Seconds()
 	}
 	rep.ChurnBatches = st.churnN.Load()
+	if cfg.Churn > 0 {
+		// A churn run is only done when its mutations are built: the run's
+		// context expired mid-epoch-build, so without this wait a final
+		// /healthz scrape (or a cross-shard convergence check) races the
+		// background rebuilder. This settles both single-process targets
+		// (pending drains) and gateways (every shard converged) — the
+		// HTTP-target path gets the same quiesce the self-hosted path
+		// always had.
+		rep.SettlePolls, rep.SettleFailed = st.settle()
+	}
 	return rep, nil
+}
+
+// settleTimeout bounds how long a churn run waits for the target's
+// catalogue to quiesce after traffic stops.
+const settleTimeout = 30 * time.Second
+
+// settle polls GET /catalog until the target reports no pending
+// mutations and (for gateways, which add the field) cross-shard
+// convergence. It runs outside the measured window on purpose: polls are
+// counted separately and never reach the latency histograms.
+func (st *runState) settle() (polls int64, failed bool) {
+	deadline := time.Now().Add(settleTimeout)
+	for time.Now().Before(deadline) {
+		var status struct {
+			Pending   bool  `json:"pending"`
+			Converged *bool `json:"converged"`
+		}
+		resp, err := st.cfg.Client.Get(st.cfg.BaseURL + "/catalog")
+		if err == nil {
+			polls++
+			derr := json.NewDecoder(resp.Body).Decode(&status)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if derr == nil && resp.StatusCode == http.StatusOK &&
+				!status.Pending && (status.Converged == nil || *status.Converged) {
+				return polls, false
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return polls, true
 }
 
 // closedLoop is one worker: draw a session from the zipf curve, run one

@@ -152,12 +152,22 @@ func TestSmokeMutatingCatalogue(t *testing.T) {
 	if rep.All.Latency.Count != rep.Total {
 		t.Errorf("aggregate histogram holds %d samples, want %d", rep.All.Latency.Count, rep.Total)
 	}
+	// A churn run must have settled before Run returned — that is what
+	// makes the accounting loop below sound rather than racing the
+	// background rebuilder.
+	if rep.SettleFailed {
+		t.Fatal("catalogue never settled after churn")
+	}
+	if rep.SettlePolls == 0 {
+		t.Error("churn run recorded no settle polls")
+	}
 
 	// Server-side accounting: every request the generator counted must
 	// appear in /healthz route metrics, route by route, plus exactly one
-	// healthz pre-flight from Run itself. A handler's metric is recorded
-	// just after its response is written, so allow the last responses'
-	// recordings a moment to land before declaring a mismatch.
+	// healthz pre-flight from Run itself and the recorded settle polls on
+	// catalog.get. A handler's metric is recorded just after its response
+	// is written, so allow the last responses' recordings a moment to land
+	// before declaring a mismatch.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		h := scrapeHealthz(t, ts.URL)
@@ -169,14 +179,17 @@ func TestSmokeMutatingCatalogue(t *testing.T) {
 				t.Fatalf("server counted failures on %s: %+v", name, m)
 			}
 			want := rep.Routes[name].Count
-			if name == "healthz" {
+			switch name {
+			case "healthz":
 				want = 1 // Run's pre-flight; this scrape isn't in its own snapshot
+			case "catalog.get":
+				want = rep.SettlePolls // quiesce polls, counted outside the run
 			}
 			if m.Requests != want {
 				ok = false
 			}
 		}
-		if ok && serverTotal == rep.Total+1 {
+		if ok && serverTotal == rep.Total+1+rep.SettlePolls {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"net/http"
+	"regexp"
+	"testing"
+
+	"toppkg/internal/session"
+	"toppkg/internal/shard"
+)
+
+// TestHealthzShardIdentity checks the fields the gateway's convergence
+// check depends on: shard_id when configured, and the catalogue content
+// fingerprints as fixed-width hex (comparable as strings).
+func TestHealthzShardIdentity(t *testing.T) {
+	_, ts := testServerWith(t, 64, nil, Options{ShardID: "s7"})
+	var h struct {
+		ShardID string `json:"shard_id"`
+		Catalog struct {
+			IDMapHash string `json:"idmap_hash"`
+			SpaceHash string `json:"space_hash"`
+		} `json:"catalog"`
+	}
+	resp := getJSON(t, ts.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if h.ShardID != "s7" {
+		t.Fatalf("shard_id = %q, want s7", h.ShardID)
+	}
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	if !hex16.MatchString(h.Catalog.IDMapHash) || !hex16.MatchString(h.Catalog.SpaceHash) {
+		t.Fatalf("content hashes not 16-hex: idmap=%q space=%q", h.Catalog.IDMapHash, h.Catalog.SpaceHash)
+	}
+
+	// Without a shard ID the field stays absent — single-process deploys
+	// keep their old healthz shape.
+	_, plain := testServerWith(t, 64, nil, Options{})
+	var raw map[string]any
+	getJSON(t, plain.URL+"/healthz", &raw)
+	if _, ok := raw["shard_id"]; ok {
+		t.Fatal("shard_id present on an unsharded server")
+	}
+}
+
+// TestDrainEndpoint drives POST /admin/drain directly: only sessions the
+// request's membership routes elsewhere are flushed, and they restore on
+// the next touch.
+func TestDrainEndpoint(t *testing.T) {
+	store := session.NewMemStore()
+	mgr, ts := testServerWith(t, 64, store, Options{ShardID: "sa"})
+	ring := shard.NewRing(shard.DefaultVNodes, []string{"sa", "sb"})
+	var mine, theirs string
+	for i := 0; mine == "" || theirs == ""; i++ {
+		id := []string{"alice", "bob", "carol", "dave", "erin", "frank"}[i]
+		if ring.Owner(id) == "sa" {
+			mine = id
+		} else {
+			theirs = id
+		}
+		resp := postJSON(t, ts.URL+"/sessions/"+id+"/feedback",
+			map[string][]int{"winner": {0}, "loser": {1}}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("feedback %s = %d", id, resp.StatusCode)
+		}
+	}
+	before := mgr.Len()
+	var out shard.DrainResponse
+	resp := postJSON(t, ts.URL+shard.DrainPath,
+		shard.DrainRequest{Self: "sa", Shards: []string{"sa", "sb"}}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain = %d", resp.StatusCode)
+	}
+	if out.Flushed == 0 || mgr.Len() != before-out.Flushed {
+		t.Fatalf("drain flushed %d, resident %d→%d", out.Flushed, before, mgr.Len())
+	}
+	if _, err := store.Load(theirs); err != nil {
+		t.Fatalf("no snapshot for drained session %s: %v", theirs, err)
+	}
+	if _, err := store.Load(mine); err == nil {
+		t.Fatalf("session %s owned by this shard was flushed", mine)
+	}
+
+	// Misaddressed drains (wrong Self) must be refused.
+	resp = postJSON(t, ts.URL+shard.DrainPath,
+		shard.DrainRequest{Self: "sb", Shards: []string{"sa", "sb"}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("misaddressed drain = %d, want 400", resp.StatusCode)
+	}
+}

@@ -328,10 +328,12 @@ func (m *Manager) Close() {
 }
 
 // evict snapshots v (if a store is configured) and removes it from the
-// table. The session mutex is held across the save, so operations queued
-// on v finish first and their state reaches the snapshot, and the table
-// entry outlives the save so a concurrent miss cannot load a stale file.
-func (m *Manager) evict(v *session) {
+// table, reporting whether this call was the one that evicted it (false
+// when v was already gone — deleted or evicted by a racing caller). The
+// session mutex is held across the save, so operations queued on v finish
+// first and their state reaches the snapshot, and the table entry
+// outlives the save so a concurrent miss cannot load a stale file.
+func (m *Manager) evict(v *session) bool {
 	v.mu.Lock()
 	evicted, saveFailed := false, false
 	if !v.gone {
@@ -366,6 +368,7 @@ func (m *Manager) evict(v *session) {
 	}
 	m.mu.Unlock()
 	v.mu.Unlock()
+	return evicted
 }
 
 // newEngine builds the engine for a fresh session, restoring its learned
@@ -491,6 +494,42 @@ func (m *Manager) Shutdown() {
 		m.evict(v)
 	}
 	m.Flush()
+}
+
+// FlushMatching snapshots-and-evicts every resident session whose ID
+// satisfies pred, returning how many sessions it evicted. It is the
+// migration primitive behind shard rebalancing: a drain request turns a
+// ring membership into a predicate ("IDs I no longer own") and the
+// flushed snapshots are restored by the new owner on each session's next
+// request.
+//
+// Evictions run synchronously on the caller so that when FlushMatching
+// returns, every matching session's state is durably in the store — a
+// rebalance must not swap the ring while snapshots are still in flight.
+// Each eviction holds the session's own mutex, so in-flight operations on
+// a matching session finish first and their state reaches the snapshot;
+// sessions restored concurrently (racing a drain) are safe — the evict
+// either catches them (and they restore again on next use) or sees them
+// gone-flagged and does nothing.
+func (m *Manager) FlushMatching(pred func(id string) bool) int {
+	m.mu.Lock()
+	var victims []*session
+	for id, s := range m.table {
+		if pred(id) {
+			// No-op for sessions an evictor already unlinked; evict below is
+			// idempotent via the gone flag for those.
+			m.lru.Remove(s.elem)
+			victims = append(victims, s)
+		}
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, v := range victims {
+		if m.evict(v) {
+			n++
+		}
+	}
+	return n
 }
 
 // Shared exposes the catalogue-wide engine factory the manager serves

@@ -1,0 +1,84 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The store registry makes Store selection a deployment concern instead
+// of a compile-time one: cmd/serve takes a -store spec string, shards in
+// a gateway deployment point their specs at the same location, and
+// migration works because the old owner's Save is the new owner's Load.
+// Specs are "scheme:rest" — "dir:/var/lib/toppkg/sessions", "mem:" — and
+// a bare path is shorthand for the dir scheme.
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func(rest string) (Store, error){}
+)
+
+// RegisterStore installs an opener for a store scheme. Built-in schemes
+// are "dir" (DirStore at the given path) and "mem" (process-local
+// MemStore, for tests and single-node setups). Re-registering a scheme
+// replaces the opener; external packages can add schemes (e.g. a network
+// store) without touching this package.
+func RegisterStore(scheme string, open func(rest string) (Store, error)) {
+	if scheme == "" || open == nil {
+		panic("session: RegisterStore with empty scheme or nil opener")
+	}
+	registryMu.Lock()
+	registry[scheme] = open
+	registryMu.Unlock()
+}
+
+// OpenStore resolves a store spec. An empty spec returns (nil, nil) —
+// no persistence, matching a nil Config.Store. A spec without a
+// registered "scheme:" prefix is treated as a filesystem path and opened
+// as a DirStore.
+func OpenStore(spec string) (Store, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	scheme, rest, ok := strings.Cut(spec, ":")
+	if ok {
+		registryMu.RLock()
+		open := registry[scheme]
+		registryMu.RUnlock()
+		if open != nil {
+			return open(rest)
+		}
+	}
+	// Bare paths (including ones with colons in odd places) mean DirStore;
+	// this keeps the old -snapshots DIR ergonomics.
+	return NewDirStore(spec)
+}
+
+// StoreSchemes lists the registered schemes, sorted — for flag help text
+// and error messages.
+func StoreSchemes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for s := range registry {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterStore("dir", func(rest string) (Store, error) {
+		if rest == "" {
+			return nil, fmt.Errorf("session: dir store needs a path (dir:/path)")
+		}
+		return NewDirStore(rest)
+	})
+	RegisterStore("mem", func(rest string) (Store, error) {
+		if rest != "" {
+			return nil, fmt.Errorf("session: mem store takes no argument, got %q", rest)
+		}
+		return NewMemStore(), nil
+	})
+}

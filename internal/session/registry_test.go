@@ -1,0 +1,40 @@
+package session
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenStore(t *testing.T) {
+	if s, err := OpenStore(""); err != nil || s != nil {
+		t.Fatalf("OpenStore(\"\") = %v, %v; want nil, nil", s, err)
+	}
+	if s, err := OpenStore("mem:"); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*MemStore); !ok {
+		t.Fatalf("mem: opened %T", s)
+	}
+	if _, err := OpenStore("mem:extra"); err == nil {
+		t.Fatal("mem: with an argument should be rejected")
+	}
+	dir := t.TempDir()
+	if s, err := OpenStore("dir:" + dir); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*DirStore); !ok {
+		t.Fatalf("dir: opened %T", s)
+	}
+	if _, err := OpenStore("dir:"); err == nil {
+		t.Fatal("dir: without a path should be rejected")
+	}
+	// A bare path is DirStore shorthand — the old -snapshots ergonomics.
+	bare := filepath.Join(dir, "bare")
+	if s, err := OpenStore(bare); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*DirStore); !ok {
+		t.Fatalf("bare path opened %T", s)
+	}
+	schemes := StoreSchemes()
+	if len(schemes) < 2 {
+		t.Fatalf("StoreSchemes() = %v, want at least dir and mem", schemes)
+	}
+}

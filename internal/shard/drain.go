@@ -1,0 +1,43 @@
+package shard
+
+import "slices"
+
+// DrainPath is the backend admin endpoint the gateway posts DrainRequests
+// to when the ring changes (internal/server registers it).
+const DrainPath = "/admin/drain"
+
+// DrainRequest tells a backend which sessions it no longer owns. The
+// backend rebuilds the ring from the request and flushes every resident
+// session whose owner under the new membership is not Self — snapshotting
+// it to the shared session store, where the new owner restores it on the
+// session's next request.
+type DrainRequest struct {
+	// Self is the receiving shard's ID. A backend started with -shard-id
+	// rejects requests naming someone else: a drain delivered to the wrong
+	// shard would flush sessions that did not move.
+	Self string `json:"self"`
+	// VNodes is the ring's virtual-node count (0 selects DefaultVNodes).
+	// It must match the gateway's, or the two sides partition sessions
+	// differently and the drain flushes the wrong set.
+	VNodes int `json:"vnodes,omitempty"`
+	// Shards is the post-change ring membership. A membership that does
+	// not include Self means this shard is leaving: every session moves.
+	Shards []string `json:"shards"`
+}
+
+// DrainResponse reports how many sessions the drain flushed.
+type DrainResponse struct {
+	Flushed int `json:"flushed"`
+}
+
+// Predicate returns the flush predicate the request describes: true for
+// the session IDs the receiving shard no longer owns under the new ring.
+func (dr DrainRequest) Predicate() func(string) bool {
+	if len(dr.Shards) == 0 || !slices.Contains(dr.Shards, dr.Self) {
+		// Leaving the ring: everything this shard holds moves.
+		return func(string) bool { return true }
+	}
+	r := NewRing(dr.VNodes, dr.Shards)
+	self := dr.Self
+	return func(id string) bool { return r.Owner(id) != self }
+}

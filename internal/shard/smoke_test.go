@@ -1,0 +1,62 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"toppkg/internal/loadgen"
+	"toppkg/internal/session"
+	"toppkg/internal/shard"
+)
+
+// TestShardSmokeThreeBackends is the whole-tier smoke: three mutable
+// backends behind a gateway, zipfian session traffic with catalogue
+// churn flowing through it, under the race detector in CI. At quiesce
+// every request must have succeeded and every shard must hold the same
+// catalogue (identical idmap/space hashes) — the mutation log's whole
+// contract.
+func TestShardSmokeThreeBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load test")
+	}
+	store := session.NewMemStore()
+	bks := map[string]*backend{
+		"s0": newBackend(t, "s0", store, true),
+		"s1": newBackend(t, "s1", store, true),
+		"s2": newBackend(t, "s2", store, true),
+	}
+	_, gts := newGateway(t, shard.Config{}, []string{"s0", "s1", "s2"}, bks)
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     gts.URL,
+		Sessions:    200,
+		Concurrency: 8,
+		Duration:    1500 * time.Millisecond,
+		Churn:       15 * time.Millisecond,
+		ChurnBatch:  4,
+		ChurnItems:  60,
+		Features:    2,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 || rep.Non2xx != 0 {
+		t.Fatalf("sharded run failed requests: %d errors, %d non-2xx of %d", rep.Errors, rep.Non2xx, rep.Total)
+	}
+	if rep.ChurnBatches == 0 {
+		t.Fatal("churn never ran — the smoke did not exercise the mutation log")
+	}
+	if rep.SettleFailed {
+		t.Fatalf("catalogue never settled after %d polls", rep.SettlePolls)
+	}
+	// Quiesced and settled: every shard must now report the identical
+	// catalogue fingerprint.
+	assertConverged(t, bks)
+	t.Logf("sharded smoke: %d ops, %d churn batches, %.0f rps across 3 shards",
+		rep.Total, rep.ChurnBatches, rep.ThroughputRPS)
+}
