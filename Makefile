@@ -36,13 +36,19 @@ lint:
 # for a stable retained/op. ChurnRestore pairs with it: the cost of
 # restoring a stable-ID snapshot after k mutation batches. EpochBuild is
 # the full-vs-delta epoch construction comparison (10k items, 16-item
-# batches).
+# batches). ScaleTopK is the large-catalogue tier: 100k items across three
+# distributions plus the million-item correlated point, each pruned vs
+# unpruned — benchjson folds the pairs into Comparisons, and the pruned
+# speedup is the dominance filter's evidence. The 1M tier lives here only;
+# CI's bench smoke stops at 100k.
 bench:
 	@{ $(GO) test -run '^$$' -bench 'Fig6TopKPkg' -benchmem -benchtime 500ms . ; \
 	   $(GO) test -run '^$$' -bench 'Fig8' -benchmem -benchtime 20x . ; \
 	   $(GO) test -run '^$$' -bench 'ChurnRecommend' -benchmem -benchtime 120x . ; \
 	   $(GO) test -run '^$$' -bench 'ChurnRestore' -benchmem -benchtime 40x . ; \
-	   $(GO) test -run '^$$' -bench 'EpochBuild' -benchmem -benchtime 50x . ; } \
+	   $(GO) test -run '^$$' -bench 'EpochBuild' -benchmem -benchtime 50x . ; \
+	   $(GO) test -run '^$$' -bench 'ScaleTopK$$' -benchmem -benchtime 5x . ; \
+	   $(GO) test -run '^$$' -bench 'ScaleTopK1M' -benchmem -benchtime 2x -timeout 30m . ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_recommend.json
 	@echo wrote BENCH_recommend.json
 
@@ -83,4 +89,5 @@ bench-serve-sharded:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEpoch$$' -fuzztime 10s ./internal/catalog
+	$(GO) test -run '^$$' -fuzz '^FuzzSkylineDelta$$' -fuzztime 10s ./internal/skyline
 	$(GO) test -run '^TestCacheRetentionBitIdentical$$|^TestCacheRevivalAfterRacingPut$$' -count=1 ./internal/core

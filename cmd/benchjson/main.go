@@ -47,8 +47,10 @@ type Benchmark struct {
 // Comparison pairs a benchmark's baseline variant with its treated one:
 // nocache vs cached for the batching pipeline, static vs mutating for the
 // live-catalogue churn benchmark (where Speedup < 1 reads as the fraction
-// of throughput retained under churn), and full vs delta for epoch
-// construction (Speedup is how much cheaper an incremental build is).
+// of throughput retained under churn), full vs delta for epoch
+// construction (Speedup is how much cheaper an incremental build is), and
+// unpruned vs pruned for the large-catalogue dominance filter (Speedup is
+// what the skyline head skip buys per search).
 type Comparison struct {
 	Name             string  `json:"name"`
 	BaselineNsPerOp  float64 `json:"baseline_ns_per_op"`
@@ -125,6 +127,7 @@ var comparePairs = []struct{ base, after string }{
 	{"/nocache", "/cached"},
 	{"/static", "/mutating"},
 	{"/full", "/delta"},
+	{"/unpruned", "/pruned"},
 }
 
 // compare pairs baseline variants with their treated counterparts.

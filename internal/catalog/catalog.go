@@ -38,6 +38,7 @@ import (
 
 	"toppkg/internal/feature"
 	"toppkg/internal/search"
+	"toppkg/internal/skyline"
 )
 
 // DefaultCoalesce is the rebuild coalescing window applied when
@@ -173,6 +174,15 @@ type Stats struct {
 	DeltaBuilds    int64 `json:"delta_builds"`
 	FullRebuilds   int64 `json:"full_rebuilds"`
 	DeltaFallbacks int64 `json:"delta_fallbacks,omitempty"`
+	// SkylineIncremental counts delta builds whose non-dominated head set
+	// (the search layer's dominance-pruning frontier) was maintained
+	// incrementally from the parent epoch's; SkylineRecomputes counts delta
+	// builds that had to recompute it from scratch (a removed or replaced
+	// item was a head, which may expose items it alone dominated). Both
+	// stay zero until a monotone-utility search first materializes the set.
+	// Insert-only batches always maintain incrementally.
+	SkylineIncremental int64 `json:"skyline_incremental"`
+	SkylineRecomputes  int64 `json:"skyline_recomputes"`
 	// BuildErrors counts rebuilds that failed and kept the previous epoch
 	// (should stay zero: batches are validated before commit); LastError
 	// is the most recent such failure, empty when healthy.
@@ -219,6 +229,8 @@ type Catalog struct {
 	deltas     int64
 	fulls      int64
 	deltaFalls int64
+	skylineInc int64
+	skylineRec int64
 	buildErrs  int64
 	lastErr    error
 }
@@ -516,9 +528,11 @@ func (c *Catalog) rebuildLocked() {
 	var err error
 	delta := false
 	fellBack := false
+	skyInc, skyRec := false, false
 	if muts != nil {
 		if ep, cs, err = buildEpochFrom(parent, muts, c.maxSize); err == nil {
 			delta = true
+			skyInc, skyRec = maintainHeads(parent, ep, cs)
 		} else {
 			// The delta path is never load-bearing for correctness: any
 			// failure falls back to the full rebuild. Re-snapshot (and
@@ -544,6 +558,12 @@ func (c *Catalog) rebuildLocked() {
 	}
 	if fellBack {
 		c.deltaFalls++
+	}
+	if skyInc {
+		c.skylineInc++
+	}
+	if skyRec {
+		c.skylineRec++
 	}
 	installed := false
 	if err != nil {
@@ -748,6 +768,30 @@ func buildEpochFrom(parent *Epoch, muts []deltaMut, maxSize int) (*Epoch, *Chang
 	return &Epoch{Space: space, Index: search.NewIndexFrom(parent.Index, space, remap, added), ids: ids}, cs, nil
 }
 
+// maintainHeads carries the parent epoch's non-dominated head set (the
+// dominance-pruning frontier, see search.Index.Heads) across a delta
+// build. Lazy by design: nothing happens until a monotone-utility search
+// first materializes the set on some epoch; from then on delta builds keep
+// it alive incrementally — inserts cost O(|batch|·|skyline|) dominance
+// checks — and only the removal or replacement of a head item (which may
+// expose items it alone dominated) forces a from-scratch recompute.
+// Returns which path ran, for the Stats counters.
+func maintainHeads(parent, ep *Epoch, cs *ChangeSet) (inc, rec bool) {
+	if ep.Index == parent.Index {
+		return false, false // no-op change set: the set is already shared
+	}
+	ph := parent.Index.PeekHeads()
+	if ph == nil {
+		return false, false
+	}
+	if ns, ok := ph.Apply(ep.Space, cs.Remap, cs.Dirty, cs.Fresh); ok {
+		ep.Index.SetHeads(ns)
+		return true, false
+	}
+	ep.Index.SetHeads(skyline.Heads(ep.Space))
+	return false, true
+}
+
 // valuesEqual compares raw value rows bitwise, so nulls (NaN) compare
 // equal and an upsert rewriting identical values is recognized as a no-op.
 func valuesEqual(a, b []float64) bool {
@@ -833,17 +877,19 @@ func (c *Catalog) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Epoch:          ep.ID,
-		Items:          len(ep.Items()),
-		Upserts:        c.upserts,
-		Deletes:        c.deletes,
-		Batches:        c.batches,
-		Rebuilds:       c.rebuilds,
-		DeltaBuilds:    c.deltas,
-		FullRebuilds:   c.fulls,
-		DeltaFallbacks: c.deltaFalls,
-		BuildErrors:    c.buildErrs,
-		Pending:        c.built < c.version,
+		Epoch:              ep.ID,
+		Items:              len(ep.Items()),
+		Upserts:            c.upserts,
+		Deletes:            c.deletes,
+		Batches:            c.batches,
+		Rebuilds:           c.rebuilds,
+		DeltaBuilds:        c.deltas,
+		FullRebuilds:       c.fulls,
+		DeltaFallbacks:     c.deltaFalls,
+		SkylineIncremental: c.skylineInc,
+		SkylineRecomputes:  c.skylineRec,
+		BuildErrors:        c.buildErrs,
+		Pending:            c.built < c.version,
 	}
 	if c.lastErr != nil {
 		st.LastError = c.lastErr.Error()

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"math/bits"
 	"slices"
 	"strings"
 )
@@ -193,6 +194,13 @@ type Normalizer struct {
 // NewNormalizer computes the per-dimension scales for the given items,
 // profile and maximum package size.
 func NewNormalizer(items []Item, p *Profile, maxSize int) (*Normalizer, error) {
+	cols, _ := buildColumns(items, p.FeatureCount())
+	return newNormalizerCols(cols, items, p, maxSize)
+}
+
+// newNormalizerCols is NewNormalizer over prebuilt columns; items is kept
+// only for error attribution.
+func newNormalizerCols(cols [][]float64, items []Item, p *Profile, maxSize int) (*Normalizer, error) {
 	if maxSize <= 0 {
 		return nil, fmt.Errorf("feature: maxSize must be positive, got %d", maxSize)
 	}
@@ -201,7 +209,7 @@ func NewNormalizer(items []Item, p *Profile, maxSize int) (*Normalizer, error) {
 		if e.Agg == AggNull {
 			continue
 		}
-		count, top, err := dimTop(items, e, maxSize)
+		count, top, err := dimTop(cols[e.Feature], items, e, maxSize)
 		if err != nil {
 			return nil, err
 		}
@@ -230,42 +238,82 @@ func (n *Normalizer) setDim(d int, agg Agg, count int, top []float64) {
 	n.scales[d] = scaleFrom(agg, count, top)
 }
 
-// dimTop scans items for entry e and returns the non-null value count and
-// the descending top values the dimension's scale derives from: the
-// maxSize largest for sum, the single max otherwise.
-func dimTop(items []Item, e Entry, maxSize int) (count int, top []float64, err error) {
-	var vals []float64
-	for i := range items {
-		v := items[i].Values[e.Feature]
+// dimTop scans entry e's value column and returns the non-null value count
+// and the descending top values the dimension's scale derives from: the
+// maxSize largest for sum, the single max otherwise. Non-sum dimensions
+// take a single allocation-free max pass; sum dimensions select the top
+// maxSize through a bounded min-heap (O(n·log φ)) and sort only those —
+// the descending value sequence (and hence the scale bits) is identical to
+// a full descending sort, because the selected multiset and its sorted
+// order are unique. items is consulted only to attribute errors.
+func dimTop(col []float64, items []Item, e Entry, maxSize int) (count int, top []float64, err error) {
+	if e.Agg != AggSum {
+		// min, max, avg: the best achievable is the single best item.
+		best := 0.0
+		for i, v := range col {
+			if IsNull(v) {
+				continue
+			}
+			if v < 0 {
+				return 0, nil, fmt.Errorf("feature: item %d has negative value %g on feature %d", items[i].ID, v, e.Feature)
+			}
+			count++
+			if v > best {
+				best = v
+			}
+		}
+		if count == 0 {
+			return 0, nil, nil
+		}
+		return count, []float64{best}, nil
+	}
+	// Sum: keep the maxSize largest values in a min-heap rooted at heap[0].
+	heap := make([]float64, 0, maxSize)
+	for i, v := range col {
 		if IsNull(v) {
 			continue
 		}
 		if v < 0 {
 			return 0, nil, fmt.Errorf("feature: item %d has negative value %g on feature %d", items[i].ID, v, e.Feature)
 		}
-		vals = append(vals, v)
+		count++
+		if len(heap) < maxSize {
+			heap = append(heap, v)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if heap[p] <= heap[c] {
+					break
+				}
+				heap[p], heap[c] = heap[c], heap[p]
+				c = p
+			}
+			continue
+		}
+		if v <= heap[0] {
+			continue
+		}
+		heap[0] = v
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			s := c
+			if l < len(heap) && heap[l] < heap[s] {
+				s = l
+			}
+			if r < len(heap) && heap[r] < heap[s] {
+				s = r
+			}
+			if s == c {
+				break
+			}
+			heap[c], heap[s] = heap[s], heap[c]
+			c = s
+		}
 	}
-	if len(vals) == 0 {
+	if count == 0 {
 		return 0, nil, nil
 	}
-	count = len(vals)
-	switch e.Agg {
-	case AggSum:
-		slices.SortFunc(vals, descFloat)
-		if len(vals) > maxSize {
-			vals = vals[:maxSize]
-		}
-		top = vals
-	default: // min, max, avg: the best achievable is the single best item.
-		best := 0.0
-		for _, v := range vals {
-			if v > best {
-				best = v
-			}
-		}
-		top = []float64{best}
-	}
-	return count, top, nil
+	slices.SortFunc(heap, descFloat)
+	return count, heap, nil
 }
 
 // descFloat orders float64s descending (lists never contain nulls).
@@ -295,11 +343,12 @@ func scaleFrom(agg Agg, count int, top []float64) float64 {
 	return s
 }
 
-// NewNormalizerFrom derives the normalizer for an item set obtained from
+// newNormalizerFrom derives the normalizer for an item set obtained from
 // the parent's by removing and then adding raw value rows (a changed item
-// contributes one row to each). A dimension's scale is recomputed from
-// scratch — a full rescan of items — only when a removed value reaches the
-// state the scale derives from: ≥ the top-maxSize cutoff for sum
+// contributes one row to each). cols is the new set's prebuilt columnar
+// storage (rescans read it). A dimension's scale is recomputed from
+// scratch — a full rescan of the column — only when a removed value reaches
+// the state the scale derives from: ≥ the top-maxSize cutoff for sum
 // dimensions, equal to the max otherwise (with a not-yet-full top set,
 // every value participates, so any removal rescans). Additions never force
 // a rescan: the top set absorbs them in O(maxSize). Scales are
@@ -307,7 +356,7 @@ func scaleFrom(agg Agg, count int, top []float64) float64 {
 // the parent's scale verbatim, incremental updates preserve the top value
 // sequence a fresh sort would produce, and rescanned dimensions re-run the
 // same computation.
-func NewNormalizerFrom(parent *Normalizer, items []Item, p *Profile, maxSize int, removed, added [][]float64) (*Normalizer, error) {
+func newNormalizerFrom(parent *Normalizer, cols [][]float64, items []Item, p *Profile, maxSize int, removed, added [][]float64) (*Normalizer, error) {
 	if maxSize != parent.maxSize {
 		return nil, fmt.Errorf("feature: NewNormalizerFrom maxSize %d, parent has %d", maxSize, parent.maxSize)
 	}
@@ -357,7 +406,7 @@ func NewNormalizerFrom(parent *Normalizer, items []Item, p *Profile, maxSize int
 			count--
 		}
 		if dirty {
-			count, top, _ = dimTop(items, e, maxSize) // rows already validated
+			count, top, _ = dimTop(cols[e.Feature], items, e, maxSize) // rows already validated
 		} else if len(addVals) > 0 {
 			top = slices.Clone(top)
 			for _, v := range addVals {
@@ -401,12 +450,27 @@ func (n *Normalizer) Apply(v []float64) []float64 {
 // Space bundles the immutable inputs of a recommendation problem: the item
 // set, the profile, the package size bound and the derived normalizer. It
 // is the context against which packages are evaluated.
+//
+// Value storage is struct-of-arrays: cols[f] is the contiguous column of
+// every item's value on raw feature f (Null entries verbatim), with a
+// per-feature null bitmap alongside. The scoring kernels, the sorted-list
+// index and the normalizer scans all iterate columns — one dense array per
+// feature instead of a pointer chase per item — which is what keeps them
+// cache-resident at million-item catalogues (and is the layout later SIMD
+// work wants). Items keeps the row view for identity (ID, Name) and for
+// cold paths that consume whole rows (serialization, oracles, examples);
+// rows and columns hold bitwise-identical values.
 type Space struct {
 	Items   []Item
 	Profile *Profile
 	// MaxSize is φ, the system-defined maximum package size.
 	MaxSize int
 	Norm    *Normalizer
+	// cols[f][i] is item i's value on feature f (Null where missing).
+	cols [][]float64
+	// nullBits[f] is the null bitmap of feature f: bit i set when item i
+	// is missing the feature. Word-packed for popcount-style scans.
+	nullBits [][]uint64
 	// hasNull[f] records whether any item lacks feature f; used by the
 	// upper-bound estimator to decide whether a "no contribution" pad is
 	// attainable. nullCount[f] is the count behind it, maintained so a
@@ -417,8 +481,45 @@ type Space struct {
 	hash uint64
 }
 
+// Col returns the contiguous value column of raw feature f (do not mutate).
+// Null entries hold the Null sentinel, so IsNull works directly on column
+// reads.
+func (s *Space) Col(f int) []float64 { return s.cols[f] }
+
+// NullBitmap returns feature f's null bitmap words (bit i = item i null;
+// do not mutate).
+func (s *Space) NullBitmap(f int) []uint64 { return s.nullBits[f] }
+
+// buildColumns transposes the row-major item values into per-feature
+// columns plus null bitmaps. One pass, O(n·featureCount).
+func buildColumns(items []Item, featureCount int) (cols [][]float64, nullBits [][]uint64) {
+	n := len(items)
+	colData := make([]float64, n*featureCount)
+	cols = make([][]float64, featureCount)
+	for f := range cols {
+		cols[f] = colData[f*n : (f+1)*n : (f+1)*n]
+	}
+	words := (n + 63) / 64
+	bitData := make([]uint64, words*featureCount)
+	nullBits = make([][]uint64, featureCount)
+	for f := range nullBits {
+		nullBits[f] = bitData[f*words : (f+1)*words : (f+1)*words]
+	}
+	for i := range items {
+		vals := items[i].Values
+		for f := 0; f < featureCount; f++ {
+			v := vals[f]
+			cols[f][i] = v
+			if IsNull(v) {
+				nullBits[f][i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	return cols, nullBits
+}
+
 // NewSpace validates the items against the profile and precomputes the
-// normalizer and null-presence flags.
+// columnar value storage, the normalizer and the null-presence flags.
 func NewSpace(items []Item, p *Profile, maxSize int) (*Space, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("feature: empty item set")
@@ -429,29 +530,36 @@ func NewSpace(items []Item, p *Profile, maxSize int) (*Space, error) {
 				items[i].ID, len(items[i].Values), p.FeatureCount())
 		}
 	}
-	norm, err := NewNormalizer(items, p, maxSize)
+	cols, nullBits := buildColumns(items, p.FeatureCount())
+	norm, err := newNormalizerCols(cols, items, p, maxSize)
 	if err != nil {
 		return nil, err
 	}
 	nullCount := make([]int, p.FeatureCount())
-	for i := range items {
-		for f, v := range items[i].Values {
-			if IsNull(v) {
-				nullCount[f]++
-			}
-		}
+	for f := range nullCount {
+		nullCount[f] = popcount(nullBits[f])
 	}
-	return newSpace(items, p, maxSize, norm, nullCount), nil
+	return newSpace(items, p, maxSize, norm, cols, nullBits, nullCount), nil
+}
+
+// popcount sums the set bits of a bitmap.
+func popcount(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
 }
 
 // newSpace assembles a space from precomputed parts, deriving the
 // null-presence flags and geometry fingerprint.
-func newSpace(items []Item, p *Profile, maxSize int, norm *Normalizer, nullCount []int) *Space {
+func newSpace(items []Item, p *Profile, maxSize int, norm *Normalizer, cols [][]float64, nullBits [][]uint64, nullCount []int) *Space {
 	hasNull := make([]bool, p.FeatureCount())
 	for f, c := range nullCount {
 		hasNull[f] = c > 0
 	}
-	sp := &Space{Items: items, Profile: p, MaxSize: maxSize, Norm: norm, hasNull: hasNull, nullCount: nullCount}
+	sp := &Space{Items: items, Profile: p, MaxSize: maxSize, Norm: norm,
+		cols: cols, nullBits: nullBits, hasNull: hasNull, nullCount: nullCount}
 	sp.hash = sp.fingerprint()
 	return sp
 }
@@ -485,7 +593,8 @@ func NewSpaceFrom(parent *Space, items []Item, removed, added [][]float64) (*Spa
 			}
 		}
 	}
-	norm, err := NewNormalizerFrom(parent.Norm, items, p, parent.MaxSize, removed, added)
+	cols, nullBits := buildColumns(items, p.FeatureCount())
+	norm, err := newNormalizerFrom(parent.Norm, cols, items, p, parent.MaxSize, removed, added)
 	if err != nil {
 		return nil, err
 	}
@@ -504,7 +613,7 @@ func NewSpaceFrom(parent *Space, items []Item, removed, added [][]float64) (*Spa
 			}
 		}
 	}
-	return newSpace(items, p, parent.MaxSize, norm, nullCount), nil
+	return newSpace(items, p, parent.MaxSize, norm, cols, nullBits, nullCount), nil
 }
 
 // fingerprint digests everything package-vector geometry depends on: the
@@ -737,12 +846,14 @@ const (
 )
 
 // kernelDim is one dimension's precomputed constants for the fused search
-// kernels: weight, normalization scale, feature index, flat agg offset and
-// aggregation kind. Hoisting these out of the per-round loops is what makes
-// the kernels cheap — the hot path touches one small struct per dimension
-// instead of chasing profile, normalizer and weight slices.
+// kernels: weight, normalization scale, the feature's contiguous value
+// column, flat agg offset and aggregation kind. Hoisting these out of the
+// per-round loops is what makes the kernels cheap — the hot path touches
+// one small struct per dimension and indexes one dense column instead of
+// chasing profile, normalizer, weight and per-item row slices.
 type kernelDim struct {
 	w, scale float64
+	col      []float64
 	feat     int32
 	b        int32
 	kind     Agg
@@ -753,6 +864,7 @@ func makeKernelDim(s *Space, u *Utility, d int) kernelDim {
 	return kernelDim{
 		w:     u.W[d],
 		scale: s.Norm.scales[d],
+		col:   s.cols[e.Feature],
 		feat:  int32(e.Feature),
 		b:     int32(aggStride * d),
 		kind:  e.Agg,
@@ -803,11 +915,13 @@ func NewPadPlan(s *Space, u *Utility, skipDims, listDims []int) *PadPlan {
 	return pl
 }
 
-// GrowFrom overwrites st with src grown by item it, folding only the
-// dimensions the plan covers. Safe only when st is read exclusively through
-// plan-covered (non-zero-weight) dimensions — zero-weight slots keep the
-// parent's values. This is the fused CopyFrom+Add of the search hot path.
-func (st *State) GrowFrom(src *State, pl *ScorePlan, it Item) {
+// GrowFrom overwrites st with src grown by the item with dense id, folding
+// only the dimensions the plan covers. Safe only when st is read
+// exclusively through plan-covered (non-zero-weight) dimensions —
+// zero-weight slots keep the parent's values. This is the fused
+// CopyFrom+Add of the search hot path; item values come from the space's
+// per-feature columns.
+func (st *State) GrowFrom(src *State, pl *ScorePlan, id int32) {
 	st.space = src.space
 	st.Size = src.Size + 1
 	dst, sa := st.agg, src.agg
@@ -819,7 +933,6 @@ func (st *State) GrowFrom(src *State, pl *ScorePlan, it Item) {
 		dst[b+2] = sa[b+2]
 		dst[b+3] = sa[b+3]
 	}
-	vals := it.Values
 	for i := range pl.dims {
 		kd := &pl.dims[i]
 		if kd.kind == AggNull {
@@ -828,7 +941,7 @@ func (st *State) GrowFrom(src *State, pl *ScorePlan, it Item) {
 		b := kd.b
 		count, sum := sa[b], sa[b+1]
 		mn, mx := sa[b+2], sa[b+3]
-		if v := vals[kd.feat]; !IsNull(v) {
+		if v := kd.col[id]; !IsNull(v) {
 			count++
 			sum += v
 			if v < mn {
@@ -845,12 +958,12 @@ func (st *State) GrowFrom(src *State, pl *ScorePlan, it Item) {
 	}
 }
 
-// ScoreAfter returns U(p ∪ {t}) without materializing the grown state —
-// the fused equivalent of summing w·AggregateAfter/scale over the non-zero
-// dimensions, bit-identical to that loop.
-func (st *State) ScoreAfter(pl *ScorePlan, it Item) float64 {
+// ScoreAfter returns U(p ∪ {t}) for the item with dense id t without
+// materializing the grown state — the fused equivalent of summing
+// w·AggregateAfter/scale over the non-zero dimensions, bit-identical to
+// that loop. Item values are read from the per-feature columns.
+func (st *State) ScoreAfter(pl *ScorePlan, id int32) float64 {
 	agg := st.agg
-	vals := it.Values
 	szp1 := float64(st.Size + 1)
 	util := 0.0
 	for i := range pl.dims {
@@ -860,7 +973,7 @@ func (st *State) ScoreAfter(pl *ScorePlan, it Item) float64 {
 			b := kd.b
 			count, sum := agg[b], agg[b+1]
 			mn, mx := agg[b+2], agg[b+3]
-			if v := vals[kd.feat]; !IsNull(v) {
+			if v := kd.col[id]; !IsNull(v) {
 				count++
 				sum += v
 				if v < mn {
@@ -890,11 +1003,12 @@ func (st *State) ScoreAfter(pl *ScorePlan, it Item) float64 {
 // ScoreAfterBatch writes U(p ∪ {t}) for each state into out (parallel to
 // states), bit-identical to calling ScoreAfter on each state individually.
 // Transposing the loops — dimensions outer, states inner — hoists the item
-// value, its null test and the aggregation-kind dispatch out of the inner
-// loop, so the per-state work is a handful of loads and one fused
-// multiply-divide with no data-dependent branches. out entries accumulate
-// per-dimension terms in the same ascending-dimension order as ScoreAfter.
-func ScoreAfterBatch(pl *ScorePlan, it Item, states []*State, out []float64) {
+// value (one column load per dimension), its null test and the
+// aggregation-kind dispatch out of the inner loop, so the per-state work
+// is a handful of loads and one fused multiply-divide with no
+// data-dependent branches. out entries accumulate per-dimension terms in
+// the same ascending-dimension order as ScoreAfter.
+func ScoreAfterBatch(pl *ScorePlan, id int32, states []*State, out []float64) {
 	for j := range out {
 		out[j] = 0
 	}
@@ -910,7 +1024,7 @@ func ScoreAfterBatch(pl *ScorePlan, it Item, states []*State, out []float64) {
 			continue
 		}
 		b := kd.b
-		v := it.Values[kd.feat]
+		v := kd.col[id]
 		if IsNull(v) {
 			// No fold: the aggregate is the state's own (0 when empty).
 			for j, st := range states {

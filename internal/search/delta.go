@@ -46,16 +46,16 @@ func NewIndexFrom(parent *Index, sp *feature.Space, remap []int32, added []int32
 		if v >= 0 {
 			continue
 		}
-		for f, val := range psp.Items[i].Values {
-			if !feature.IsNull(val) {
+		for f := 0; f < fc; f++ {
+			if !feature.IsNull(psp.Col(f)[i]) {
 				removedTouch[f] = true
 			}
 		}
 	}
 	addedTouch := make([]bool, fc)
 	for _, id := range added {
-		for f, val := range sp.Items[id].Values {
-			if !feature.IsNull(val) {
+		for f := 0; f < fc; f++ {
+			if !feature.IsNull(sp.Col(f)[id]) {
 				addedTouch[f] = true
 			}
 		}
@@ -73,12 +73,13 @@ func NewIndexFrom(parent *Index, sp *feature.Space, remap []int32, added []int32
 			continue
 		}
 		batch = batch[:0]
+		col := sp.Col(f)
 		for _, id := range added {
-			if !feature.IsNull(sp.Items[id].Values[f]) {
+			if !feature.IsNull(col[id]) {
 				batch = append(batch, id)
 			}
 		}
-		slices.SortFunc(batch, cmpByValue(sp.Items, f))
+		slices.SortFunc(batch, cmpByValue(col))
 		if identity {
 			ix.asc[d] = spliceList(parent.asc[d], sp, psp, f, remap, batch)
 		} else {
@@ -105,11 +106,11 @@ func spliceList(old []int32, sp, psp *feature.Space, f int, remap, batch []int32
 		id     int32
 		insert bool
 	}
-	oldCmp := cmpByValue(psp.Items, f)
+	oldCmp := cmpByValue(psp.Col(f))
 	var ops []splice
 	removals := 0
 	for pi, v := range remap {
-		if v >= 0 || feature.IsNull(psp.Items[pi].Values[f]) {
+		if v >= 0 || feature.IsNull(psp.Col(f)[pi]) {
 			continue
 		}
 		pos, ok := slices.BinarySearchFunc(old, int32(pi), oldCmp)
@@ -126,7 +127,7 @@ func spliceList(old []int32, sp, psp *feature.Space, f int, remap, batch []int32
 		// either way, so comparing new values against parent entries via
 		// the parent ordering is sound.
 		pos, _ := slices.BinarySearchFunc(old, id, func(entry, target int32) int {
-			ve, vt := psp.Items[entry].Values[f], sp.Items[target].Values[f]
+			ve, vt := psp.Col(f)[entry], sp.Col(f)[target]
 			if ve != vt {
 				if ve < vt {
 					return -1
@@ -180,15 +181,16 @@ func spliceList(old []int32, sp, psp *feature.Space, f int, remap, batch []int32
 // batch merged in by (value, dense ID).
 func renumberList(old []int32, sp, psp *feature.Space, f int, remap, batch []int32) []int32 {
 	out := make([]int32, 0, len(old)+len(batch))
+	col := sp.Col(f)
 	j := 0
 	for _, pid := range old {
 		nid := remap[pid]
 		if nid < 0 {
 			continue
 		}
-		v := sp.Items[nid].Values[f]
+		v := col[nid]
 		for j < len(batch) {
-			bv := sp.Items[batch[j]].Values[f]
+			bv := col[batch[j]]
 			if bv < v || (bv == v && batch[j] < nid) {
 				out = append(out, batch[j])
 				j++
@@ -213,7 +215,7 @@ func deriveOrphans(parent *Index, sp *feature.Space, remap, added []int32, ident
 			if e.Agg == feature.AggNull {
 				continue
 			}
-			if !feature.IsNull(space.Items[id].Values[e.Feature]) {
+			if !feature.IsNull(space.Col(e.Feature)[id]) {
 				return false
 			}
 		}

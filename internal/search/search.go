@@ -14,9 +14,11 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"toppkg/internal/feature"
 	"toppkg/internal/pkgspace"
+	"toppkg/internal/skyline"
 )
 
 // Options configures one Top-k-Pkg run.
@@ -57,6 +59,16 @@ type Options struct {
 	// neither kept nor grown. Use only for anti-monotone predicates (e.g.
 	// MaxCount), otherwise results may be incomplete.
 	Expand pkgspace.Predicate
+	// DisableDominancePrune turns off the skyline head filter. The filter
+	// only engages when the utility is monotone for the profile (positive
+	// weights on sum/max, negative on min, no weighted avg), and skips a
+	// drawn item only when a sound upper bound over every package
+	// containing it falls strictly below the current k-th best — exact for
+	// uncapped runs; under a Q+ cap the skipped items' children no longer
+	// compete for beam slots, so beam results may differ (see DESIGN
+	// notes on nextItem). Disabling exists for the ablation benchmarks and
+	// the pruned≡unpruned property suite.
+	DisableDominancePrune bool
 }
 
 // DefaultMaxQueue is the Q+ cap applied when Options.MaxQueue is zero.
@@ -73,8 +85,8 @@ func (o Options) CacheKey() (key string, ok bool) {
 	if o.Candidate != nil || o.Expand != nil {
 		return "", false
 	}
-	return fmt.Sprintf("k%d;ea%t;bp%t;mq%d;ma%d",
-		o.K, o.ExpandAll, o.DisableBoundPrune, o.MaxQueue, o.MaxAccessed), true
+	return fmt.Sprintf("k%d;ea%t;bp%t;mq%d;ma%d;dp%t",
+		o.K, o.ExpandAll, o.DisableBoundPrune, o.MaxQueue, o.MaxAccessed, o.DisableDominancePrune), true
 }
 
 // Result is the outcome of a Top-k-Pkg run, with the work counters the
@@ -89,6 +101,9 @@ type Result struct {
 	Created int
 	// Truncated reports that MaxQueue forced dropping expandable packages.
 	Truncated bool
+	// DomPruned counts drawn items the dominance filter skipped (zero when
+	// the filter never engaged).
+	DomPruned int
 	// FP is the conservative read footprint of the run, recorded so an
 	// epoch-survivable result cache can prove a catalogue delta cannot have
 	// changed this result (see Footprint). Nil for degenerate runs (no
@@ -157,32 +172,71 @@ type Index struct {
 	asc [][]int32
 	// orphans are items with null on every entry's feature.
 	orphans []int32
-	// seenPool recycles the per-run accessed bitmap (its zeroing dominates
-	// allocation cost when thousands of per-sample searches share an index).
+	// seenPool recycles the per-run accessed stamp array (see seenSet):
+	// claiming it for a run is O(1), with no O(n) zeroing or O(touched)
+	// sparse reset — the costs that dominated run setup at large n.
 	seenPool sync.Pool
+	// heads caches the space's non-dominated item set (skyline.Heads),
+	// computed lazily on the first monotone-utility search or injected by
+	// the catalogue's incremental delta maintenance (SetHeads). Immutable
+	// once set.
+	heads     atomic.Pointer[skyline.Set]
+	headsOnce sync.Once
 }
 
-// NewIndex sorts the items of sp once per profile entry.
+// seenSet is a stamped membership set over dense item IDs: item i is a
+// member of the current run iff marks[i] equals the run's stamp. Claiming
+// the set for a new run just increments the stamp; stale marks from prior
+// runs can never collide (the stamp is a strictly increasing uint64).
+type seenSet struct {
+	stamp uint64
+	marks []uint64
+}
+
+// Heads returns the space's non-dominated item set, computing it on first
+// use. Safe for concurrent searches.
+func (ix *Index) Heads() *skyline.Set {
+	if s := ix.heads.Load(); s != nil {
+		return s
+	}
+	ix.headsOnce.Do(func() {
+		ix.heads.CompareAndSwap(nil, skyline.Heads(ix.space))
+	})
+	return ix.heads.Load()
+}
+
+// PeekHeads returns the head set if it has been computed or injected, nil
+// otherwise — without triggering the computation.
+func (ix *Index) PeekHeads() *skyline.Set { return ix.heads.Load() }
+
+// SetHeads injects a precomputed head set (the catalogue's incremental
+// delta maintenance). A set that is already present wins; the index never
+// observes two different head sets.
+func (ix *Index) SetHeads(s *skyline.Set) { ix.heads.CompareAndSwap(nil, s) }
+
+// NewIndex sorts the items of sp once per profile entry, scanning the
+// per-feature columns rather than chasing item rows.
 func NewIndex(sp *feature.Space) *Index {
 	dims := sp.Dims()
 	ix := &Index{space: sp, asc: make([][]int32, dims)}
-	inSome := make([]bool, len(sp.Items))
+	inSome := make([]bool, sp.N())
 	for d := 0; d < dims; d++ {
 		e := sp.Profile.Entry(d)
 		if e.Agg == feature.AggNull {
 			continue
 		}
+		col := sp.Col(e.Feature)
 		var ids []int32
-		for i := range sp.Items {
-			if !feature.IsNull(sp.Items[i].Values[e.Feature]) {
+		for i, v := range col {
+			if !feature.IsNull(v) {
 				ids = append(ids, int32(i))
 				inSome[i] = true
 			}
 		}
-		slices.SortFunc(ids, cmpByValue(sp.Items, e.Feature))
+		slices.SortFunc(ids, cmpByValue(col))
 		ix.asc[d] = ids
 	}
-	for i := range sp.Items {
+	for i := range inSome {
 		if !inSome[i] {
 			ix.orphans = append(ix.orphans, int32(i))
 		}
@@ -191,11 +245,11 @@ func NewIndex(sp *feature.Space) *Index {
 }
 
 // cmpByValue is the total order every dimension list uses: ascending by
-// the items' value on feature f, ties broken by dense ID. Lists exclude
-// null values, so the comparison never sees NaN.
-func cmpByValue(items []feature.Item, f int) func(a, b int32) int {
+// the items' value in the feature column, ties broken by dense ID. Lists
+// exclude null values, so the comparison never sees NaN.
+func cmpByValue(col []float64) func(a, b int32) int {
 	return func(a, b int32) int {
-		va, vb := items[a].Values[f], items[b].Values[f]
+		va, vb := col[a], col[b]
 		if va != vb {
 			if va < vb {
 				return -1
@@ -244,13 +298,26 @@ type run struct {
 	qPlus []*pkg
 	cands *candHeap
 
-	accessedSeen []bool
-	accessedIDs  []int32
-	accessed     int
-	created      int
-	truncated    bool
-	maxQueue     int
-	round        int
+	seen        *seenSet
+	accessedIDs []int32
+	accessed    int
+	created     int
+	truncated   bool
+	maxQueue    int
+	round       int
+
+	// Dominance pruning (engaged only for monotone utilities with bound
+	// pruning on): heads is the space's skyline, emptyState scores
+	// singletons, initModes/initTaus/initFastPad freeze the pad
+	// descriptors at their initial values — every list's τ at its best —
+	// so headBound soundly bounds packages joined at any later point of
+	// the trace, not just extensions of the current boundary.
+	heads       *skyline.Set
+	emptyState  *feature.State
+	initModes   []uint8
+	initTaus    []float64
+	initFastPad bool
+	domPruned   int
 
 	// hasList[d] reports whether profile entry d has an active cursor.
 	hasList []bool
@@ -298,7 +365,7 @@ type run struct {
 // reusing a recycled pkg shell and state when available. The child state is
 // grown through the score plan (GrowFrom), which only maintains the
 // dimensions the run ever reads.
-func (r *run) newChild(p *pkg, item int, it feature.Item, util float64) *pkg {
+func (r *run) newChild(p *pkg, item int, util float64) *pkg {
 	var np *pkg
 	if n := len(r.freePkgs); n > 0 {
 		np = r.freePkgs[n-1]
@@ -313,7 +380,7 @@ func (r *run) newChild(p *pkg, item int, it feature.Item, util float64) *pkg {
 	} else {
 		st = feature.NewState(r.ix.space)
 	}
-	st.GrowFrom(p.state, r.scorePlan, it)
+	st.GrowFrom(p.state, r.scorePlan, int32(item))
 	np.state = st
 	np.ids = append(append(np.ids[:0], p.ids...), item)
 	np.util = util
@@ -330,10 +397,11 @@ func (r *run) release(p *pkg) {
 }
 
 type listCursor struct {
-	dim  int  // profile entry index
-	feat int  // underlying item feature
-	desc bool // true: traverse descending (weight > 0)
-	pos  int  // entries consumed
+	dim  int       // profile entry index
+	feat int       // underlying item feature
+	col  []float64 // the feature's value column (τ reads)
+	desc bool      // true: traverse descending (weight > 0)
+	pos  int       // entries consumed
 	ids  []int32
 	tau  float64 // value of the last accessed item (best possible unseen)
 	done bool
@@ -347,30 +415,25 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 	if len(u.W) != ix.space.Dims() {
 		return Result{}, fmt.Errorf("search: utility has %d dims, space has %d", len(u.W), ix.space.Dims())
 	}
-	seen, _ := ix.seenPool.Get().([]bool)
-	if seen == nil {
-		seen = make([]bool, len(ix.space.Items))
+	seen, _ := ix.seenPool.Get().(*seenSet)
+	if seen == nil || len(seen.marks) != ix.space.N() {
+		seen = &seenSet{marks: make([]uint64, ix.space.N())}
 	}
+	seen.stamp++
 	r := &run{
-		ix:           ix,
-		u:            u,
-		opts:         opts,
-		cands:        &candHeap{k: opts.K},
-		accessedSeen: seen,
-		maxQueue:     opts.MaxQueue,
-		scratch:      feature.NewState(ix.space),
-		scratchGrow:  feature.NewState(ix.space),
+		ix:          ix,
+		u:           u,
+		opts:        opts,
+		cands:       &candHeap{k: opts.K},
+		seen:        seen,
+		maxQueue:    opts.MaxQueue,
+		scratch:     feature.NewState(ix.space),
+		scratchGrow: feature.NewState(ix.space),
 	}
 	if r.maxQueue == 0 {
 		r.maxQueue = DefaultMaxQueue
 	}
-	defer func() {
-		// Reset only the entries this run touched, then recycle the bitmap.
-		for _, id := range r.accessedIDs {
-			r.accessedSeen[id] = false
-		}
-		ix.seenPool.Put(r.accessedSeen)
-	}()
+	defer ix.seenPool.Put(r.seen)
 	// Build the active list cursors (Algorithm 2 line 2): one per entry
 	// with non-zero weight, traversed from the desirable end.
 	for d := 0; d < ix.space.Dims(); d++ {
@@ -378,13 +441,13 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		if u.W[d] == 0 || e.Agg == feature.AggNull || len(ix.asc[d]) == 0 {
 			continue
 		}
-		lc := listCursor{dim: d, feat: e.Feature, desc: u.W[d] > 0, ids: ix.asc[d]}
+		lc := listCursor{dim: d, feat: e.Feature, col: ix.space.Col(e.Feature), desc: u.W[d] > 0, ids: ix.asc[d]}
 		// Initialize τ to the best value in the list: unseen items can never
 		// beat the top of the list.
 		if lc.desc {
-			lc.tau = ix.space.Items[lc.ids[len(lc.ids)-1]].Values[lc.feat]
+			lc.tau = lc.col[lc.ids[len(lc.ids)-1]]
 		} else {
-			lc.tau = ix.space.Items[lc.ids[0]].Values[lc.feat]
+			lc.tau = lc.col[lc.ids[0]]
 		}
 		r.lists = append(r.lists, lc)
 	}
@@ -422,6 +485,21 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 	r.scorePlan = feature.NewScorePlan(ix.space, u)
 	r.padPlan = feature.NewPadPlan(ix.space, u, skipDims, listDims)
 
+	// Engage the dominance filter only when it is provably safe: the
+	// utility must be monotone for the profile (a dominated item is then
+	// pointwise no better than its dominator on every weighted dimension)
+	// and bound pruning must be on (its strict admission tests are what
+	// keep equal-utility tie-breaks unreachable for skipped items). The
+	// pad descriptors are frozen now — every τ at its list's best value —
+	// so headBound bounds membership in any package of the trace.
+	if !opts.DisableDominancePrune && !opts.DisableBoundPrune && r.monotone() {
+		r.heads = ix.Heads()
+		r.emptyState = feature.NewState(ix.space)
+		r.initModes = slices.Clone(r.padModes)
+		r.initTaus = slices.Clone(r.padTaus)
+		r.initFastPad = r.fastPad
+	}
+
 	empty := &pkg{state: feature.NewState(ix.space), util: 0}
 	empty.bound = r.upperExp(empty.state)
 	r.qPlus = append(r.qPlus, empty)
@@ -433,18 +511,33 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		if !ok {
 			break
 		}
-		if !r.accessedSeen[item] {
-			r.accessedSeen[item] = true
-			r.accessedIDs = append(r.accessedIDs, item)
-			r.accessed++
-			etaLo, etaUp := r.expand(int(item))
-			if etaUp <= etaLo || len(r.qPlus) == 0 {
-				break
-			}
+		if r.seen.marks[item] == r.seen.stamp {
+			continue
+		}
+		r.seen.marks[item] = r.seen.stamp
+		r.accessedIDs = append(r.accessedIDs, item)
+		r.accessed++
+		// Dominance skip: a non-head item whose best package-membership
+		// bound falls strictly below the current k-th best can head or
+		// join no package that enters the results — don't expand it. The
+		// item still advanced τ (nextItem) and still counts as accessed,
+		// so footprints stay conservative. While the heap is not full
+		// ηlo is -Inf and nothing is skipped.
+		if r.heads != nil && !r.heads.Contains(item) && r.headBound(item) < r.cands.kthUtility() {
+			r.domPruned++
 			if opts.MaxAccessed > 0 && r.accessed >= opts.MaxAccessed {
 				r.truncated = true
 				break
 			}
+			continue
+		}
+		etaLo, etaUp := r.expand(int(item))
+		if etaUp <= etaLo || len(r.qPlus) == 0 {
+			break
+		}
+		if opts.MaxAccessed > 0 && r.accessed >= opts.MaxAccessed {
+			r.truncated = true
+			break
 		}
 	}
 	// Drain orphans (items null on every active feature): they can only
@@ -455,8 +548,8 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 	if len(r.qPlus) > 0 {
 		orphanOpen = true
 		for _, o := range r.ix.orphans {
-			if !r.accessedSeen[o] {
-				r.accessedSeen[o] = true
+			if r.seen.marks[o] != r.seen.stamp {
+				r.seen.marks[o] = r.seen.stamp
 				r.accessedIDs = append(r.accessedIDs, o)
 				r.accessed++
 				etaLo, etaUp := r.expand(int(o))
@@ -469,13 +562,75 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		}
 	}
 
+	fp := r.footprint(orphanOpen, orphanTau)
+	if r.domPruned > 0 && r.truncated {
+		// Beam truncation plus dominance skips: the skipped items'
+		// children no longer competed for beam slots, so this result is
+		// not provably replayable after a catalogue delta — withhold the
+		// footprint and let the cache drop it on any swap.
+		fp = nil
+	}
 	return Result{
 		Packages:  r.cands.sorted(),
 		Accessed:  r.accessed,
 		Created:   r.created,
 		Truncated: r.truncated,
-		FP:        r.footprint(orphanOpen, orphanTau),
+		DomPruned: r.domPruned,
+		FP:        fp,
 	}, nil
+}
+
+// monotone reports whether the utility is monotone for the profile: every
+// weighted dimension can only improve as better items join (positive
+// weight on sum/max, negative on min, no weighted avg). Exactly then does
+// item dominance under skyline.ProfileDirs imply pointwise utility
+// dominance, which is what headBound's pad construction assumes.
+func (r *run) monotone() bool {
+	p := r.ix.space.Profile
+	for d := 0; d < p.Dims(); d++ {
+		if r.u.W[d] == 0 {
+			continue
+		}
+		switch p.Entry(d).Agg {
+		case feature.AggSum, feature.AggMax:
+			if r.u.W[d] < 0 {
+				return false
+			}
+		case feature.AggMin:
+			if r.u.W[d] > 0 {
+				return false
+			}
+		case feature.AggAvg:
+			return false
+		}
+	}
+	return true
+}
+
+// headBound returns a sound upper bound on the utility of every package
+// containing the item: the max of the singleton's own utility and the
+// upper-exp pad bound of the singleton taken against the *initial* τ
+// vector (each list's best value). Initial τ is what makes the bound valid
+// for packages whose other members were drawn before the item — their
+// values exceed the current boundary but never the lists' tops.
+func (r *run) headBound(id int32) float64 {
+	b := r.emptyState.ScoreAfter(r.scorePlan, id)
+	if r.ix.space.MaxSize > 1 {
+		st := r.scratchGrow
+		st.GrowFrom(r.emptyState, r.scorePlan, id)
+		var ext float64
+		if r.initFastPad {
+			ext = st.PadUpperTau(r.padPlan, r.initTaus, r.ix.space.MaxSize)
+		} else {
+			s := r.scratch
+			s.CopyFrom(st)
+			ext = s.PadUpper(r.padPlan, r.initModes, r.initTaus, r.ix.space.MaxSize)
+		}
+		if ext > b {
+			b = ext
+		}
+	}
+	return b
 }
 
 // footprint assembles the run's conservative read summary (see Footprint).
@@ -531,7 +686,7 @@ func (r *run) nextItem(rr *int) (int32, bool) {
 			id = lc.ids[lc.pos]
 		}
 		lc.pos++
-		lc.tau = r.ix.space.Items[id].Values[lc.feat]
+		lc.tau = lc.col[id]
 		r.padTaus[li] = lc.tau
 		if lc.pos >= len(lc.ids) {
 			lc.done = true
@@ -561,7 +716,6 @@ func (r *run) nextItem(rr *int) (int32, bool) {
 //     so one pad can lose while two pads win when another dimension
 //     compensates.
 func (r *run) expand(item int) (etaLo, etaUp float64) {
-	it := r.ix.space.Items[item]
 	phi := r.ix.space.MaxSize
 	etaUp = negInf
 	etaLo = r.cands.kthUtility()
@@ -584,7 +738,7 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 		r.guScratch = make([]float64, len(states))
 	}
 	gus := r.guScratch[:len(states)]
-	feature.ScoreAfterBatch(r.scorePlan, it, states, gus)
+	feature.ScoreAfterBatch(r.scorePlan, int32(item), states, gus)
 
 	survivors := r.qPlus[:0]
 	newcomers := r.newcomers[:0]
@@ -616,12 +770,12 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 				worth := !prune || gu > etaLo
 				growBound, haveBound := 0.0, false
 				if !worth {
-					r.scratchGrow.GrowFrom(p.state, r.scorePlan, it)
+					r.scratchGrow.GrowFrom(p.state, r.scorePlan, int32(item))
 					growBound, haveBound = r.upperExp(r.scratchGrow), true
 					worth = growBound > etaLo
 				}
 				if worth {
-					np := r.newChild(p, item, it, gu)
+					np := r.newChild(p, item, gu)
 					if r.opts.Expand == nil || r.opts.Expand(r.ix.space, np.toPackage()) {
 						r.created++
 						r.offer(np)

@@ -391,6 +391,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		cat["delta_fallbacks"] = st.DeltaFallbacks
 		cat["build_errors"] = st.BuildErrors
 		cat["pending"] = st.Pending
+		// Skyline head-set maintenance across epoch swaps: incremental
+		// carries vs full recomputes (a recompute means a batch touched a
+		// current head — insert-only churn should never pay one).
+		cat["skyline_incremental"] = st.SkylineIncremental
+		cat["skyline_recomputes"] = st.SkylineRecomputes
 	}
 	health := map[string]any{
 		"status":       "ok",
