@@ -36,11 +36,13 @@ lint:
 # for a stable retained/op. ChurnRestore pairs with it: the cost of
 # restoring a stable-ID snapshot after k mutation batches. EpochBuild is
 # the full-vs-delta epoch construction comparison (10k items, 16-item
-# batches). ScaleTopK is the large-catalogue tier: 100k items across three
-# distributions plus the million-item correlated point, each pruned vs
-# unpruned — benchjson folds the pairs into Comparisons, and the pruned
-# speedup is the dominance filter's evidence. The 1M tier lives here only;
-# CI's bench smoke stops at 100k.
+# batches). ScaleTopK is the large-catalogue tier: 100k and 1M items
+# across three distributions, each unpruned vs pruned vs partitioned —
+# benchjson folds the pairs into Comparisons; the pruned speedup is the
+# dominance filter's evidence and the partitioned speedup the
+# sketch-refine partition's (the anti-correlated tier, where dominance is
+# inert, is its acceptance gate). The 1M tier lives here only; CI's bench
+# smoke stops at 100k.
 bench:
 	@{ $(GO) test -run '^$$' -bench 'Fig6TopKPkg' -benchmem -benchtime 500ms . ; \
 	   $(GO) test -run '^$$' -bench 'Fig8' -benchmem -benchtime 20x . ; \
@@ -90,4 +92,6 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzDeltaEpoch$$' -fuzztime 10s ./internal/catalog
 	$(GO) test -run '^$$' -fuzz '^FuzzSkylineDelta$$' -fuzztime 10s ./internal/skyline
+	$(GO) test -run '^$$' -fuzz '^FuzzPartitionDelta$$' -fuzztime 10s ./internal/partition
 	$(GO) test -run '^TestCacheRetentionBitIdentical$$|^TestCacheRevivalAfterRacingPut$$' -count=1 ./internal/core
+	$(GO) test -race -run '^TestPartition' -count=1 ./internal/search

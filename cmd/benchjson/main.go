@@ -48,9 +48,11 @@ type Benchmark struct {
 // nocache vs cached for the batching pipeline, static vs mutating for the
 // live-catalogue churn benchmark (where Speedup < 1 reads as the fraction
 // of throughput retained under churn), full vs delta for epoch
-// construction (Speedup is how much cheaper an incremental build is), and
+// construction (Speedup is how much cheaper an incremental build is),
 // unpruned vs pruned for the large-catalogue dominance filter (Speedup is
-// what the skyline head skip buys per search).
+// what the skyline head skip buys per search), and unpruned vs
+// partitioned (":partitioned" name suffix) for the sketch-refine
+// partition.
 type Comparison struct {
 	Name             string  `json:"name"`
 	BaselineNsPerOp  float64 `json:"baseline_ns_per_op"`
@@ -123,11 +125,15 @@ func parse(lines []string) (benches []Benchmark, cpu string) {
 
 // comparePairs are the baseline→after variant suffixes folded into
 // Comparisons.
-var comparePairs = []struct{ base, after string }{
-	{"/nocache", "/cached"},
-	{"/static", "/mutating"},
-	{"/full", "/delta"},
-	{"/unpruned", "/pruned"},
+// suffix disambiguates comparisons sharing a baseline variant (the
+// dominance filter and the sketch-refine partition are both measured
+// against /unpruned).
+var comparePairs = []struct{ base, after, suffix string }{
+	{"/nocache", "/cached", ""},
+	{"/static", "/mutating", ""},
+	{"/full", "/delta", ""},
+	{"/unpruned", "/pruned", ""},
+	{"/unpruned", "/partitioned", ":partitioned"},
 }
 
 // compare pairs baseline variants with their treated counterparts.
@@ -148,7 +154,7 @@ func compare(benches []Benchmark) []Comparison {
 				continue
 			}
 			c := Comparison{
-				Name:            parent,
+				Name:            parent + pair.suffix,
 				BaselineNsPerOp: b.NsPerOp,
 				AfterNsPerOp:    after.NsPerOp,
 			}

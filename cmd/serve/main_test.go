@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestValidatePartitionFlags pins the rejection path: an imbalance
+// threshold below 1 must fail fast at startup (catalog.New enforces the
+// same bound, but the flag error names the flag, not the config field).
+func TestValidatePartitionFlags(t *testing.T) {
+	for _, bad := range []float64{0.5, 0, -1} {
+		if err := validatePartitionFlags(bad); err == nil {
+			t.Errorf("validatePartitionFlags(%g) accepted an unsatisfiable threshold", bad)
+		}
+	}
+	for _, good := range []float64{1, 1.5, 4, 100} {
+		if err := validatePartitionFlags(good); err != nil {
+			t.Errorf("validatePartitionFlags(%g) = %v, want nil", good, err)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"toppkg/internal/feature"
+	"toppkg/internal/partition"
 	"toppkg/internal/search"
 	"toppkg/internal/skyline"
 )
@@ -52,6 +53,13 @@ const DefaultCoalesce = 20 * time.Millisecond
 // distinct stable IDs since the current epoch build the next epoch
 // incrementally from it instead of from scratch.
 const DefaultDeltaThreshold = 256
+
+// DefaultReclusterImbalance is the partition imbalance threshold applied
+// when Config.PartitionReclusterImbalance is zero: incremental partition
+// maintenance keeps assigning new items to their nearest clusters until
+// the fullest cluster exceeds this multiple of the balanced size, at which
+// point the next delta build re-clusters from scratch.
+const DefaultReclusterImbalance = 4.0
 
 // Config configures a Catalog.
 type Config struct {
@@ -77,6 +85,17 @@ type Config struct {
 	// fallback. 0 selects DefaultDeltaThreshold; negative disables delta
 	// builds entirely.
 	DeltaThreshold int
+	// PartitionClusters fixes the sketch-refine cluster count for every
+	// epoch's search index: 0 lets the index choose (⌈√n⌉ once the
+	// catalogue reaches search.PartitionMinItems), negative disables
+	// partitioned search entirely.
+	PartitionClusters int
+	// PartitionReclusterImbalance is the partition.Imbalance threshold
+	// past which a delta build re-clusters from scratch instead of
+	// maintaining the parent partition incrementally. 0 selects
+	// DefaultReclusterImbalance; values below 1 are rejected (the fullest
+	// cluster is never below the balanced size).
+	PartitionReclusterImbalance float64
 }
 
 // Epoch is one immutable snapshot of the catalogue: everything a reader
@@ -183,6 +202,24 @@ type Stats struct {
 	// Insert-only batches always maintain incrementally.
 	SkylineIncremental int64 `json:"skyline_incremental"`
 	SkylineRecomputes  int64 `json:"skyline_recomputes"`
+	// PartitionClusters and PartitionImbalance describe the current
+	// epoch's sketch-refine partition (zero until a monotone-utility
+	// search first materializes it — or partitioning is disabled).
+	// PartitionIncremental counts delta builds that carried the partition
+	// forward incrementally; PartitionReclusters counts delta builds that
+	// re-clustered from scratch (incremental maintenance refused, or
+	// drift pushed the imbalance past the configured threshold).
+	PartitionClusters    int     `json:"partition_clusters"`
+	PartitionImbalance   float64 `json:"partition_imbalance,omitempty"`
+	PartitionIncremental int64   `json:"partition_incremental"`
+	PartitionReclusters  int64   `json:"partition_reclusters"`
+	// PartitionSearches counts partition-engaged searches across all
+	// epochs; SketchSkipped and RefineClustersOpened total the per-search
+	// counters of the same names (items never drawn thanks to the sketch
+	// floor, and clusters the refine phase opened).
+	PartitionSearches    int64 `json:"partition_searches"`
+	SketchSkipped        int64 `json:"sketch_skipped"`
+	RefineClustersOpened int64 `json:"refine_clusters_opened"`
 	// BuildErrors counts rebuilds that failed and kept the previous epoch
 	// (should stay zero: batches are validated before commit); LastError
 	// is the most recent such failure, empty when healthy.
@@ -200,6 +237,10 @@ type Catalog struct {
 	maxSize  int
 	coalesce time.Duration
 	deltaMax int // delta-build eligibility bound; <= 0 disables
+
+	partClusters  int     // sketch-refine cluster count; see Config
+	partImbalance float64 // re-cluster threshold; see Config
+	partStats     *search.PartitionStats
 
 	cur atomic.Pointer[Epoch]
 
@@ -231,6 +272,8 @@ type Catalog struct {
 	deltaFalls int64
 	skylineInc int64
 	skylineRec int64
+	partInc    int64
+	partRec    int64
 	buildErrs  int64
 	lastErr    error
 }
@@ -253,14 +296,23 @@ func New(cfg Config) (*Catalog, error) {
 	if cfg.DeltaThreshold == 0 {
 		cfg.DeltaThreshold = DefaultDeltaThreshold
 	}
+	if cfg.PartitionReclusterImbalance == 0 {
+		cfg.PartitionReclusterImbalance = DefaultReclusterImbalance
+	}
+	if cfg.PartitionReclusterImbalance < 1 {
+		return nil, fmt.Errorf("catalog: PartitionReclusterImbalance must be >= 1, got %g", cfg.PartitionReclusterImbalance)
+	}
 	c := &Catalog{
-		profile:  cfg.Profile,
-		maxSize:  cfg.MaxPackageSize,
-		coalesce: cfg.Coalesce,
-		deltaMax: cfg.DeltaThreshold,
-		items:    make(map[int]feature.Item, len(cfg.Items)),
-		pending:  make(map[int]uint64),
-		closeCh:  make(chan struct{}),
+		profile:       cfg.Profile,
+		maxSize:       cfg.MaxPackageSize,
+		coalesce:      cfg.Coalesce,
+		deltaMax:      cfg.DeltaThreshold,
+		partClusters:  cfg.PartitionClusters,
+		partImbalance: cfg.PartitionReclusterImbalance,
+		partStats:     &search.PartitionStats{},
+		items:         make(map[int]feature.Item, len(cfg.Items)),
+		pending:       make(map[int]uint64),
+		closeCh:       make(chan struct{}),
 	}
 	c.caughtUp = sync.NewCond(&c.mu)
 	for i := range cfg.Items {
@@ -327,6 +379,13 @@ type ChangeSet struct {
 	// OldSpace is the parent epoch's feature space, for old-value lookups
 	// against Dirty ids.
 	OldSpace *feature.Space
+	// Partition describes what happened to the sketch-refine partition
+	// across the swap: nil when the parent had none materialized (or the
+	// swap is Full), Recluster when it was rebuilt from scratch, otherwise
+	// the incremental delta (Touched/Changed cluster ids). Caches keyed on
+	// opened clusters must drop entries whose clusters were touched — or
+	// all partition-dependent entries when Partition is nil or Recluster.
+	Partition *partition.Delta
 }
 
 // Subscribe registers fn to run after every epoch swap, with the epoch
@@ -529,10 +588,13 @@ func (c *Catalog) rebuildLocked() {
 	delta := false
 	fellBack := false
 	skyInc, skyRec := false, false
+	partInc, partRec := false, false
 	if muts != nil {
 		if ep, cs, err = buildEpochFrom(parent, muts, c.maxSize); err == nil {
 			delta = true
+			ep.Index.ConfigurePartition(c.partClusters, c.partStats)
 			skyInc, skyRec = maintainHeads(parent, ep, cs)
+			partInc, partRec = maintainPartition(parent, ep, cs, c.partClusters, c.partImbalance)
 		} else {
 			// The delta path is never load-bearing for correctness: any
 			// failure falls back to the full rebuild. Re-snapshot (and
@@ -545,7 +607,9 @@ func (c *Catalog) rebuildLocked() {
 		}
 	}
 	if !delta {
-		ep, err = buildEpoch(items, stable, c.profile, c.maxSize)
+		if ep, err = buildEpoch(items, stable, c.profile, c.maxSize); err == nil {
+			ep.Index.ConfigurePartition(c.partClusters, c.partStats)
+		}
 		cs = &ChangeSet{Parent: parent.ID, Full: true}
 	}
 
@@ -564,6 +628,12 @@ func (c *Catalog) rebuildLocked() {
 	}
 	if skyRec {
 		c.skylineRec++
+	}
+	if partInc {
+		c.partInc++
+	}
+	if partRec {
+		c.partRec++
 	}
 	installed := false
 	if err != nil {
@@ -792,6 +862,35 @@ func maintainHeads(parent, ep *Epoch, cs *ChangeSet) (inc, rec bool) {
 	return false, true
 }
 
+// maintainPartition carries the parent epoch's sketch-refine partition
+// (see search.Index.PeekPartition) across a delta build, mirroring
+// maintainHeads' lazy contract: nothing happens until a search first
+// materializes the partition on some epoch; from then on delta builds
+// assign new items to their nearest clusters and rescan only touched
+// cluster bounds. A re-cluster from scratch runs when incremental
+// maintenance refuses (no representative survived to anchor assignment)
+// or drift pushed the imbalance past maxImbalance. Returns which path
+// ran, for the Stats counters, and records the outcome in cs.Partition.
+func maintainPartition(parent, ep *Epoch, cs *ChangeSet, clusters int, maxImbalance float64) (inc, rec bool) {
+	if ep.Index == parent.Index {
+		return false, false // no-op change set: the partition is already shared
+	}
+	pp := parent.Index.PeekPartition()
+	if pp == nil {
+		return false, false
+	}
+	if np, delta, ok := pp.Apply(ep.Space, cs.Remap, cs.Dirty, cs.Fresh); ok && np.Imbalance() <= maxImbalance {
+		ep.Index.SetPartition(np)
+		cs.Partition = delta
+		return true, false
+	}
+	np := partition.Build(ep.Space, clusters)
+	np.Gen = pp.Gen + 1
+	ep.Index.SetPartition(np)
+	cs.Partition = &partition.Delta{Recluster: true}
+	return false, true
+}
+
 // valuesEqual compares raw value rows bitwise, so nulls (NaN) compare
 // equal and an upsert rewriting identical values is recognized as a no-op.
 func valuesEqual(a, b []float64) bool {
@@ -816,6 +915,7 @@ func (c *Catalog) build(id uint64) (*Epoch, error) {
 	if err != nil {
 		return nil, err
 	}
+	ep.Index.ConfigurePartition(c.partClusters, c.partStats)
 	ep.ID = id
 	return ep, nil
 }
@@ -891,6 +991,15 @@ func (c *Catalog) Stats() Stats {
 		BuildErrors:        c.buildErrs,
 		Pending:            c.built < c.version,
 	}
+	st.PartitionIncremental = c.partInc
+	st.PartitionReclusters = c.partRec
+	if p := ep.Index.PeekPartition(); p != nil {
+		st.PartitionClusters = p.K
+		st.PartitionImbalance = p.Imbalance()
+	}
+	st.PartitionSearches = c.partStats.Searches.Load()
+	st.SketchSkipped = c.partStats.SketchSkipped.Load()
+	st.RefineClustersOpened = c.partStats.ClustersOpened.Load()
 	if c.lastErr != nil {
 		st.LastError = c.lastErr.Error()
 	}

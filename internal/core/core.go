@@ -410,14 +410,15 @@ func NewLiveShared(cfg Config, cat *catalog.Catalog) (*Shared, error) {
 				return
 			}
 			sh.cache.Reconcile(ranking.Swap{
-				Parent:   cs.Parent,
-				Next:     ep.ID,
-				Dirty:    cs.Dirty,
-				Fresh:    cs.Fresh,
-				Touched:  cs.Touched,
-				Remap:    cs.Remap,
-				OldSpace: cs.OldSpace,
-				Space:    ep.Space,
+				Parent:    cs.Parent,
+				Next:      ep.ID,
+				Dirty:     cs.Dirty,
+				Fresh:     cs.Fresh,
+				Touched:   cs.Touched,
+				Remap:     cs.Remap,
+				OldSpace:  cs.OldSpace,
+				Space:     ep.Space,
+				Partition: cs.Partition,
 			})
 		})
 	}

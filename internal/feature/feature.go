@@ -490,6 +490,31 @@ func (s *Space) Col(f int) []float64 { return s.cols[f] }
 // do not mutate).
 func (s *Space) NullBitmap(f int) []uint64 { return s.nullBits[f] }
 
+// ColStats scans one column block — feature f restricted to the given
+// item ids — and returns the min/max over its non-null values plus the
+// non-null count. This is the cluster-scan primitive of the partition
+// layer: per-cluster per-dimension bounds are rebuilt one contiguous
+// column at a time (ids ascending keeps the reads forward-moving) instead
+// of chasing item rows across every feature.
+func (s *Space) ColStats(f int, ids []int32) (min, max float64, nonNull int) {
+	col := s.cols[f]
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, id := range ids {
+		v := col[id]
+		if IsNull(v) {
+			continue
+		}
+		nonNull++
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, nonNull
+}
+
 // buildColumns transposes the row-major item values into per-feature
 // columns plus null bitmaps. One pass, O(n·featureCount).
 func buildColumns(items []Item, featureCount int) (cols [][]float64, nullBits [][]uint64) {

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"toppkg/internal/feature"
+	"toppkg/internal/partition"
 	"toppkg/internal/pkgspace"
 	"toppkg/internal/search"
 )
@@ -203,6 +204,15 @@ type Swap struct {
 	// OldSpace is Parent's feature space (Dirty value lookups); Space is
 	// Next's (Fresh value lookups and admission scoring).
 	OldSpace, Space *feature.Space
+	// Partition describes what the swap did to the sketch-refine
+	// partition (catalog.ChangeSet.Partition): nil when the parent epoch
+	// had none carried forward. Entries whose footprints depend on the
+	// partition (Footprint.Clusters non-empty) are dropped unless the
+	// partition survived incrementally with no cluster's bounds or
+	// representative changed and none of the entry's opened clusters
+	// touched — a beamed refine's cluster admission order, sketch seeds
+	// and subset lists could all shift otherwise.
+	Partition *partition.Delta
 }
 
 // maxSwapHistory bounds the recorded swap chain. Entries keyed further
@@ -349,6 +359,23 @@ func remapEntry(ent *cacheEntry, remap []int32, cow *bool) {
 // footprintSurvives decides whether one swap provably leaves the
 // footprinted search unaffected.
 func footprintSurvives(fp *search.Footprint, sw *Swap) bool {
+	// A partition-dependent result (beamed sketch-refine) additionally
+	// replays over the cluster structure: any cluster whose bounds or
+	// representative moved can reorder beam admission or reseed the
+	// sketch, and membership churn in an opened cluster changes the
+	// subset lists. Only a clean incremental carry with the entry's
+	// clusters untouched is provably inert.
+	if len(fp.Clusters) > 0 {
+		pd := sw.Partition
+		if pd == nil || pd.Recluster || len(pd.Changed) > 0 {
+			return false
+		}
+		for _, c := range pd.Touched {
+			if _, ok := sortedFind(fp.Clusters, c); ok {
+				return false
+			}
+		}
+	}
 	// A rescaled (or null-set-shifted) dimension the utility weights makes
 	// every package score incomparable across the swap.
 	for _, d := range sw.Touched {

@@ -1,0 +1,60 @@
+package ranking
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"toppkg/internal/partition"
+	"toppkg/internal/search"
+)
+
+// epochKey builds a cache key pinned to the given catalogue epoch, the
+// way groupResults does (cache invalidation epoch + catalogue epoch +
+// an opaque options/weights suffix).
+func epochKey(c *Cache, catEp uint64, rest string) string {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], c.Epoch())
+	binary.LittleEndian.PutUint64(b[8:], catEp)
+	return string(b[:]) + rest
+}
+
+// TestReconcilePartitionGuards: an entry whose footprint depends on the
+// sketch-refine partition (Clusters non-empty) survives a swap only when
+// the partition was carried incrementally with no cluster's bounds or
+// representative changed and none of the entry's opened clusters touched.
+// Every other shape — no partition carried, a re-cluster, any changed
+// cluster, or membership churn in an opened cluster — must drop it.
+func TestReconcilePartitionGuards(t *testing.T) {
+	mkRes := func(clusters []int32) search.Result {
+		return search.Result{FP: &search.Footprint{
+			Clusters:  clusters,
+			Admission: 1e18,
+			OrphanTau: -1,
+		}}
+	}
+	cases := []struct {
+		name     string
+		clusters []int32
+		pd       *partition.Delta
+		retained bool
+	}{
+		{"no partition carried", []int32{1, 3}, nil, false},
+		{"recluster", []int32{1, 3}, &partition.Delta{Recluster: true}, false},
+		{"changed cluster anywhere", []int32{1, 3}, &partition.Delta{Touched: []int32{5}, Changed: []int32{5}}, false},
+		{"opened cluster touched", []int32{1, 3}, &partition.Delta{Touched: []int32{3}}, false},
+		{"untouched incremental carry", []int32{1, 3}, &partition.Delta{Touched: []int32{2}}, true},
+		{"partition-independent entry", nil, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCache(8)
+			key := epochKey(c, 1, "entry")
+			c.Put(key, mkRes(tc.clusters))
+			c.Reconcile(Swap{Parent: 1, Next: 2, Partition: tc.pd})
+			_, ok := c.Get(epochKey(c, 2, "entry"))
+			if ok != tc.retained {
+				t.Fatalf("retained=%v, want %v", ok, tc.retained)
+			}
+		})
+	}
+}

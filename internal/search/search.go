@@ -69,6 +69,15 @@ type Options struct {
 	// notes on nextItem). Disabling exists for the ablation benchmarks and
 	// the pruned≡unpruned property suite.
 	DisableDominancePrune bool
+	// DisablePartition turns off sketch-refine partitioned search (see
+	// partitioned.go). Like the dominance filter it only engages for
+	// monotone utilities with bound pruning on and no predicates; uncapped
+	// unbudgeted runs stay bit-identical with it on or off (the sketch
+	// bound only prunes strictly-below-the-floor work), while beamed runs
+	// refine inside the sketch-selected clusters and may differ from an
+	// unpartitioned beam. Disabling exists for ablations and the
+	// partitioned≡unpartitioned property suite.
+	DisablePartition bool
 }
 
 // DefaultMaxQueue is the Q+ cap applied when Options.MaxQueue is zero.
@@ -85,8 +94,8 @@ func (o Options) CacheKey() (key string, ok bool) {
 	if o.Candidate != nil || o.Expand != nil {
 		return "", false
 	}
-	return fmt.Sprintf("k%d;ea%t;bp%t;mq%d;ma%d;dp%t",
-		o.K, o.ExpandAll, o.DisableBoundPrune, o.MaxQueue, o.MaxAccessed, o.DisableDominancePrune), true
+	return fmt.Sprintf("k%d;ea%t;bp%t;mq%d;ma%d;dp%t;pt%t",
+		o.K, o.ExpandAll, o.DisableBoundPrune, o.MaxQueue, o.MaxAccessed, o.DisableDominancePrune, o.DisablePartition), true
 }
 
 // Result is the outcome of a Top-k-Pkg run, with the work counters the
@@ -104,6 +113,14 @@ type Result struct {
 	// DomPruned counts drawn items the dominance filter skipped (zero when
 	// the filter never engaged).
 	DomPruned int
+	// SketchSkipped counts items the sketch bound excluded: draws skipped
+	// because their cluster cannot beat the sketch floor (uncapped runs),
+	// or items left outside the refined subset entirely (beamed runs).
+	// Zero when partitioning never engaged.
+	SketchSkipped int
+	// RefineClustersOpened is the number of distinct clusters the refine
+	// phase read (zero when partitioning never engaged).
+	RefineClustersOpened int
 	// FP is the conservative read footprint of the run, recorded so an
 	// epoch-survivable result cache can prove a catalogue delta cannot have
 	// changed this result (see Footprint). Nil for degenerate runs (no
@@ -159,6 +176,15 @@ type Footprint struct {
 	Admission float64
 	// Weights aliases the run's weight vector (utilities are immutable).
 	Weights []float64
+	// Clusters lists the partition clusters a beamed sketch-refine run
+	// opened (sorted ascending; nil for unpartitioned and for uncapped
+	// partitioned runs, whose results are bit-identical to unpartitioned
+	// and so survive on the standard rules alone). A beamed partitioned
+	// result additionally depends on the partition itself: the cache must
+	// drop it when the partition re-clusters, when any cluster's bounds or
+	// representative change, or when one of these clusters' membership is
+	// touched.
+	Clusters []int32
 }
 
 // Index holds the per-entry sorted item lists for a space, so that repeated
@@ -182,6 +208,21 @@ type Index struct {
 	// once set.
 	heads     atomic.Pointer[skyline.Set]
 	headsOnce sync.Once
+	// part caches the sketch-refine partition and its representative
+	// sub-index, materialized lazily on the first eligible search (every
+	// eligible search materializes, so results within one epoch are
+	// consistent) or injected by the catalogue (SetPartition). partClusters
+	// configures the cluster count (0 = auto ⌈√n⌉ above PartitionMinItems,
+	// <0 = partitioning disabled for this index); partStats, when set,
+	// aggregates per-search partition counters across runs.
+	part         atomic.Pointer[partState]
+	partOnce     sync.Once
+	partClusters int
+	partStats    *PartitionStats
+	// seenSrc, when non-nil, is the index whose seenPool this (subset)
+	// index borrows: subset indexes share the full space's dense id range,
+	// so sharing the pool avoids an O(n) stamp-array allocation per refine.
+	seenSrc *Index
 }
 
 // seenSet is a stamped membership set over dense item IDs: item i is a
@@ -319,6 +360,14 @@ type run struct {
 	initFastPad bool
 	domPruned   int
 
+	// Sketch-refine context (nil for plain runs): pc carries the sketch
+	// floor L and, on uncapped exact runs, the partition for per-cluster
+	// draw skips. floorL caches pc's floor (-Inf when absent) for the hot
+	// loops; partContribs is the virtual-item scratch clusterBound folds.
+	pc           *partCtx
+	floorL       float64
+	partContribs []feature.Contrib
+
 	// hasList[d] reports whether profile entry d has an active cursor.
 	hasList []bool
 
@@ -415,25 +464,44 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 	if len(u.W) != ix.space.Dims() {
 		return Result{}, fmt.Errorf("search: utility has %d dims, space has %d", len(u.W), ix.space.Dims())
 	}
-	seen, _ := ix.seenPool.Get().(*seenSet)
-	if seen == nil || len(seen.marks) != ix.space.N() {
-		seen = &seenSet{marks: make([]uint64, ix.space.N())}
+	if ps := ix.partitionFor(u, opts); ps != nil {
+		return ix.topKPartitioned(u, opts, ps)
 	}
-	seen.stamp++
-	r := &run{
+	return ix.topKRun(u, opts, nil)
+}
+
+// topKRun executes one Top-k-Pkg trace, optionally under a partition
+// context (sketch floor + cluster-bound skips).
+func (ix *Index) topKRun(u *feature.Utility, opts Options, pc *partCtx) (Result, error) {
+	r, ok := ix.newRun(u, opts, pc)
+	if !ok {
+		return r.degenerate(), nil
+	}
+	return r.exec(), nil
+}
+
+// newRun builds the cursors, kernel plans and pruning state of one run
+// without executing it (the beamed sketch-refine path needs the plans to
+// bound clusters before deciding what to search). ok is false for the
+// degenerate no-active-list case.
+func (ix *Index) newRun(u *feature.Utility, opts Options, pc *partCtx) (r *run, ok bool) {
+	r = &run{
 		ix:          ix,
 		u:           u,
 		opts:        opts,
 		cands:       &candHeap{k: opts.K},
-		seen:        seen,
 		maxQueue:    opts.MaxQueue,
+		pc:          pc,
+		floorL:      negInf,
 		scratch:     feature.NewState(ix.space),
 		scratchGrow: feature.NewState(ix.space),
+	}
+	if pc != nil {
+		r.floorL = pc.floorL
 	}
 	if r.maxQueue == 0 {
 		r.maxQueue = DefaultMaxQueue
 	}
-	defer ix.seenPool.Put(r.seen)
 	// Build the active list cursors (Algorithm 2 line 2): one per entry
 	// with non-zero weight, traversed from the desirable end.
 	for d := 0; d < ix.space.Dims(); d++ {
@@ -452,7 +520,7 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		r.lists = append(r.lists, lc)
 	}
 	if len(r.lists) == 0 {
-		return r.degenerate(), nil
+		return r, false
 	}
 	r.hasList = make([]bool, ix.space.Dims())
 	for li := range r.lists {
@@ -491,14 +559,37 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 	// and bound pruning must be on (its strict admission tests are what
 	// keep equal-utility tie-breaks unreachable for skipped items). The
 	// pad descriptors are frozen now — every τ at its list's best value —
-	// so headBound bounds membership in any package of the trace.
-	if !opts.DisableDominancePrune && !opts.DisableBoundPrune && r.monotone() {
-		r.heads = ix.Heads()
+	// so headBound bounds membership in any package of the trace. A
+	// partition context needs the same frozen descriptors for its cluster
+	// bounds, under the same monotonicity gate (partitionFor enforces it).
+	if !opts.DisableBoundPrune && r.monotone() &&
+		(!opts.DisableDominancePrune || (pc != nil && pc.p != nil)) {
 		r.emptyState = feature.NewState(ix.space)
 		r.initModes = slices.Clone(r.padModes)
 		r.initTaus = slices.Clone(r.padTaus)
 		r.initFastPad = r.fastPad
+		if !opts.DisableDominancePrune {
+			r.heads = ix.Heads()
+		}
 	}
+	return r, true
+}
+
+// exec runs the prepared trace to completion.
+func (r *run) exec() Result {
+	ix := r.ix
+	opts := r.opts
+	pool := &ix.seenPool
+	if ix.seenSrc != nil {
+		pool = &ix.seenSrc.seenPool
+	}
+	seen, _ := pool.Get().(*seenSet)
+	if seen == nil || len(seen.marks) != ix.space.N() {
+		seen = &seenSet{marks: make([]uint64, ix.space.N())}
+	}
+	seen.stamp++
+	r.seen = seen
+	defer pool.Put(seen)
 
 	empty := &pkg{state: feature.NewState(ix.space), util: 0}
 	empty.bound = r.upperExp(empty.state)
@@ -517,13 +608,32 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		r.seen.marks[item] = r.seen.stamp
 		r.accessedIDs = append(r.accessedIDs, item)
 		r.accessed++
+		// Sketch skip: when a partition context is active, an item whose
+		// whole cluster bounds strictly below the sketch floor L can head
+		// or join no package that enters the results (L is the utility of
+		// real packages, so L ≤ the final k-th best; strict comparison
+		// keeps equal-utility tie-breaks unreachable). Mirrors the
+		// dominance skip below: τ advanced, the item counts as accessed.
+		if r.pc != nil && r.pc.p != nil {
+			c := r.pc.p.Assign[item]
+			if r.clusterBound(c) < r.floorL {
+				r.pc.skipped++
+				if opts.MaxAccessed > 0 && r.accessed >= opts.MaxAccessed {
+					r.truncated = true
+					break
+				}
+				continue
+			}
+			r.pc.open(c)
+		}
 		// Dominance skip: a non-head item whose best package-membership
 		// bound falls strictly below the current k-th best can head or
 		// join no package that enters the results — don't expand it. The
 		// item still advanced τ (nextItem) and still counts as accessed,
 		// so footprints stay conservative. While the heap is not full
-		// ηlo is -Inf and nothing is skipped.
-		if r.heads != nil && !r.heads.Contains(item) && r.headBound(item) < r.cands.kthUtility() {
+		// ηlo is -Inf and nothing is skipped (unless a sketch floor is
+		// active, which is a sound k-th stand-in from the start).
+		if thr := max(r.cands.kthUtility(), r.floorL); r.heads != nil && !r.heads.Contains(item) && r.headBound(item) < thr {
 			r.domPruned++
 			if opts.MaxAccessed > 0 && r.accessed >= opts.MaxAccessed {
 				r.truncated = true
@@ -577,7 +687,7 @@ func (ix *Index) TopK(u *feature.Utility, opts Options) (Result, error) {
 		Truncated: r.truncated,
 		DomPruned: r.domPruned,
 		FP:        fp,
-	}, nil
+	}
 }
 
 // monotone reports whether the utility is monotone for the profile: every
@@ -749,9 +859,10 @@ func (r *run) expand(item int) (etaLo, etaUp float64) {
 			p.bound = r.upperExp(p.state)
 			p.boundRound = r.round
 		}
-		if prune && p.bound <= etaLo {
+		if (prune && p.bound <= etaLo) || p.bound < r.floorL {
 			// Neither p's extensions nor their candidacies can beat the
-			// current k-th best: drop p without expanding it.
+			// current k-th best (or the sketch floor, a sound stand-in
+			// before the heap fills): drop p without expanding it.
 			r.release(p)
 			continue
 		}
@@ -928,7 +1039,7 @@ func (r *run) keep(p *pkg, etaLo float64, prune bool) bool {
 	if p.state.Size >= r.ix.space.MaxSize || math.IsInf(p.bound, -1) {
 		return false
 	}
-	if prune && p.bound <= etaLo {
+	if (prune && p.bound <= etaLo) || p.bound < r.floorL {
 		return false
 	}
 	if !r.opts.ExpandAll && p.state.Size > 0 && p.bound <= p.util {

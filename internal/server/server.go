@@ -396,6 +396,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// current head — insert-only churn should never pay one).
 		cat["skyline_incremental"] = st.SkylineIncremental
 		cat["skyline_recomputes"] = st.SkylineRecomputes
+		// Sketch-refine partition maintenance and per-search refine
+		// behavior (see CatalogStatus for field semantics).
+		cat["partition_clusters"] = st.PartitionClusters
+		cat["partition_imbalance"] = st.PartitionImbalance
+		cat["partition_incremental"] = st.PartitionIncremental
+		cat["partition_reclusters"] = st.PartitionReclusters
+		cat["partition_searches"] = st.PartitionSearches
+		cat["sketch_skipped"] = st.SketchSkipped
+		cat["refine_clusters_opened"] = st.RefineClustersOpened
 	}
 	health := map[string]any{
 		"status":       "ok",
@@ -477,6 +486,18 @@ type CatalogStatus struct {
 	BuildErrors    int64  `json:"build_errors"`
 	LastError      string `json:"last_error"`
 	Pending        bool   `json:"pending"`
+	// Sketch-refine partition health: the current epoch's cluster count
+	// and imbalance (zero until a search materializes the partition), the
+	// incremental-vs-recluster maintenance split across delta builds, and
+	// the cumulative per-search counters (partition-engaged searches,
+	// items skipped by the sketch floor, clusters opened by refines).
+	PartitionClusters    int     `json:"partition_clusters"`
+	PartitionImbalance   float64 `json:"partition_imbalance,omitempty"`
+	PartitionIncremental int64   `json:"partition_incremental"`
+	PartitionReclusters  int64   `json:"partition_reclusters"`
+	PartitionSearches    int64   `json:"partition_searches"`
+	SketchSkipped        int64   `json:"sketch_skipped"`
+	RefineClustersOpened int64   `json:"refine_clusters_opened"`
 }
 
 func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {
@@ -500,6 +521,14 @@ func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {
 		BuildErrors:    st.BuildErrors,
 		LastError:      st.LastError,
 		Pending:        st.Pending,
+
+		PartitionClusters:    st.PartitionClusters,
+		PartitionImbalance:   st.PartitionImbalance,
+		PartitionIncremental: st.PartitionIncremental,
+		PartitionReclusters:  st.PartitionReclusters,
+		PartitionSearches:    st.PartitionSearches,
+		SketchSkipped:        st.SketchSkipped,
+		RefineClustersOpened: st.RefineClustersOpened,
 	})
 }
 
